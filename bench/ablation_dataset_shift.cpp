@@ -1,0 +1,84 @@
+// Dataset-shift experiment (the paper's future work proposes extending the
+// evaluation to further datasets, e.g. MSKCFG).
+//
+// The GNN and CFGExplainer are trained on the standard corpus, then
+// evaluated — without retraining — on an out-of-distribution corpus
+// variant: a different generation seed and substantially larger programs
+// (more functions, bigger blocks, more motif instances). Reported:
+// the GNN's transfer accuracy and CFGExplainer-vs-Random explanation
+// quality under shift.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cfgx;
+using namespace cfgx::bench;
+
+namespace {
+
+Corpus shifted_corpus(const BenchConfig& config) {
+  CorpusConfig cc;
+  cc.samples_per_family = std::max<std::size_t>(4, config.eval_per_family);
+  cc.seed = config.corpus_seed + 7777;  // disjoint sample seeds
+  cc.generator.min_benign_functions = 6;
+  cc.generator.max_benign_functions = 10;
+  cc.generator.min_block_budget = 7;
+  cc.generator.max_block_budget = 13;
+  cc.generator.min_motif_repeats = 3;
+  cc.generator.max_motif_repeats = 6;
+  return generate_corpus(cc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_global_log_level(LogLevel::Warn);
+  const CliArgs args(argc, argv);
+  BenchContext ctx(BenchConfig::from_cli(args));
+
+  std::printf("=== Dataset shift: train on standard corpus, explain a larger "
+              "out-of-distribution corpus ===\n\n");
+
+  const Corpus shifted = shifted_corpus(ctx.config());
+  std::vector<std::size_t> all(shifted.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  // Size comparison.
+  double standard_nodes = 0.0, shifted_nodes = 0.0;
+  for (const Acfg& graph : ctx.corpus().graphs()) {
+    standard_nodes += graph.num_nodes();
+  }
+  for (const Acfg& graph : shifted.graphs()) shifted_nodes += graph.num_nodes();
+  std::printf("mean graph size: standard %.1f nodes -> shifted %.1f nodes\n",
+              standard_nodes / static_cast<double>(ctx.corpus().size()),
+              shifted_nodes / static_cast<double>(shifted.size()));
+
+  const double transfer_accuracy =
+      full_graph_accuracy(ctx.gnn(), shifted, all);
+  std::printf("GNN transfer accuracy on shifted corpus: %s "
+              "(in-distribution: %s)\n\n",
+              format_percent(transfer_accuracy).c_str(),
+              format_percent(ctx.gnn_accuracy_on_eval()).c_str());
+
+  EvaluationConfig eval_config;
+  eval_config.step_size_percent = ctx.config().step_size_percent;
+  auto cfgx_eval = evaluate_explainer(ctx.cfg_explainer(), ctx.gnn(), shifted,
+                                      all, eval_config);
+  RandomExplainer random(17);
+  auto random_eval =
+      evaluate_explainer(random, ctx.gnn(), shifted, all, eval_config);
+
+  TextTable table({"explainer", "AUC", "Acc@20%", "plant recall"},
+                  {Align::Left, Align::Right, Align::Right, Align::Right});
+  for (const auto* eval : {&cfgx_eval, &random_eval}) {
+    table.add_row({eval->explainer_name, format_fixed(eval->average_auc),
+                   format_fixed(eval->average_accuracy_at(0.2)),
+                   format_fixed(eval->plant_recall)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: CFGExplainer's scorer consumes GNN embeddings, so it\n"
+      "transfers exactly as far as the GNN does — explanation quality under\n"
+      "shift is bounded by the classifier's transfer accuracy above.\n");
+  return 0;
+}

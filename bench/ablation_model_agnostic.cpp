@@ -1,0 +1,93 @@
+// Model-agnosticism ablation.
+//
+// The paper argues CFGExplainer is model agnostic because it consumes only
+// the GNN's node embeddings (Section IV). This bench backs that claim by
+// running the identical Theta pipeline against TWO different classifiers:
+// the default mean-pool GCN and a DGCNN-style SortPool GCN (the readout of
+// MAGIC, the classifier the paper explains). CFGExplainer should beat the
+// random baseline under both, without any explainer-side changes.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cfgx;
+using namespace cfgx::bench;
+
+namespace {
+
+struct PipelineResult {
+  double gnn_accuracy = 0.0;
+  ExplainerEvaluation cfgx;
+  ExplainerEvaluation random;
+};
+
+PipelineResult run_pipeline(BenchContext& ctx, GnnClassifier& gnn) {
+  PipelineResult result;
+  result.gnn_accuracy =
+      full_graph_accuracy(gnn, ctx.corpus(), ctx.eval_indices());
+
+  ExplainerTrainConfig train_config;
+  train_config.epochs = ctx.config().explainer_epochs;
+  train_config.score_sparsity_weight = ctx.config().score_sparsity;
+  InterpretationConfig interpret_config;
+  interpret_config.keep_adjacency_snapshots = false;
+  CfgExplainer explainer(gnn, train_config, interpret_config);
+  explainer.fit(ctx.corpus(), ctx.split().train);
+
+  EvaluationConfig eval_config;
+  eval_config.step_size_percent = ctx.config().step_size_percent;
+  result.cfgx = evaluate_explainer(explainer, gnn, ctx.corpus(),
+                                   ctx.eval_indices(), eval_config);
+  RandomExplainer random(17);
+  result.random = evaluate_explainer(random, gnn, ctx.corpus(),
+                                     ctx.eval_indices(), eval_config);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_global_log_level(LogLevel::Warn);
+  const CliArgs args(argc, argv);
+  BenchContext ctx(BenchConfig::from_cli(args));
+
+  std::printf("=== Model agnosticism: identical Theta pipeline on two "
+              "classifier architectures ===\n\n");
+
+  // Pipeline A: the cached mean-pool GCN.
+  std::fprintf(stderr, "[bench] pipeline A: mean-pool GCN\n");
+  PipelineResult mean_pool = run_pipeline(ctx, ctx.gnn());
+
+  // Pipeline B: DGCNN-style SortPool readout, trained from scratch.
+  std::fprintf(stderr, "[bench] pipeline B: training SortPool (DGCNN) GCN\n");
+  Rng rng(71);
+  GnnConfig sort_config;
+  sort_config.readout = ReadoutKind::SortPool;
+  sort_config.sortpool_k = 16;
+  GnnClassifier sortpool_gnn(sort_config, rng);
+  GnnTrainConfig gnn_train;
+  gnn_train.epochs = ctx.config().gnn_epochs;
+  train_gnn(sortpool_gnn, ctx.corpus(), ctx.split().train, gnn_train);
+  PipelineResult sort_pool = run_pipeline(ctx, sortpool_gnn);
+
+  TextTable table({"classifier", "GNN acc", "CFGX AUC", "CFGX @20%",
+                   "Random AUC", "Random @20%", "CFGX plant recall"},
+                  {Align::Left, Align::Right, Align::Right, Align::Right,
+                   Align::Right, Align::Right, Align::Right});
+  const auto add = [&](const char* name, const PipelineResult& r) {
+    table.add_row({name, format_percent(r.gnn_accuracy),
+                   format_fixed(r.cfgx.average_auc),
+                   format_fixed(r.cfgx.average_accuracy_at(0.2)),
+                   format_fixed(r.random.average_auc),
+                   format_fixed(r.random.average_accuracy_at(0.2)),
+                   format_fixed(r.cfgx.plant_recall)});
+  };
+  add("GCN + mean-pool", mean_pool);
+  add("GCN + SortPool (DGCNN)", sort_pool);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Reading: the explainer never touches classifier internals — "
+              "only embeddings —\nso it should outperform random under both "
+              "readouts (paper Section IV's\nmodel-agnosticism argument).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Stability ablation: how consistent are CFGExplainer's explanations when
+// only the initialization / mini-batch seed of Algorithm 1 changes?
+//
+// A useful explainer should point different retrainings at largely the same
+// blocks. Reported: mean pairwise Jaccard overlap of the top-20% node sets
+// across three independently trained Theta instances, the same overlap for
+// the Random baseline (floor), and per-seed explanation quality.
+#include <cstdio>
+
+#include <set>
+
+#include "common.hpp"
+
+using namespace cfgx;
+using namespace cfgx::bench;
+
+namespace {
+
+double jaccard(const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+  const std::set<std::uint32_t> sa(a.begin(), a.end());
+  std::size_t shared = 0;
+  for (std::uint32_t v : b) {
+    if (sa.count(v)) ++shared;
+  }
+  const std::size_t unioned = sa.size() + b.size() - shared;
+  return unioned == 0 ? 0.0 : static_cast<double>(shared) / unioned;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_global_log_level(LogLevel::Warn);
+  const CliArgs args(argc, argv);
+  BenchContext ctx(BenchConfig::from_cli(args));
+
+  std::printf("=== Stability: top-20%% agreement across Theta retrainings ===\n\n");
+
+  constexpr std::array<std::uint64_t, 3> kSeeds = {99, 100, 101};
+  std::vector<std::unique_ptr<CfgExplainer>> explainers;
+  std::vector<double> aucs;
+  for (std::uint64_t seed : kSeeds) {
+    std::fprintf(stderr, "[bench] training Theta with init seed %llu...\n",
+                 static_cast<unsigned long long>(seed));
+    ExplainerTrainConfig train_config;
+    train_config.epochs = ctx.config().explainer_epochs;
+    train_config.score_sparsity_weight = ctx.config().score_sparsity;
+    train_config.sample_seed = seed * 31 + 1;
+    InterpretationConfig interpret_config;
+    interpret_config.keep_adjacency_snapshots = false;
+    auto explainer = std::make_unique<CfgExplainer>(ctx.gnn(), train_config,
+                                                    interpret_config, seed);
+    explainer->fit(ctx.corpus(), ctx.split().train);
+
+    EvaluationConfig eval_config;
+    eval_config.step_size_percent = ctx.config().step_size_percent;
+    aucs.push_back(evaluate_explainer(*explainer, ctx.gnn(), ctx.corpus(),
+                                      ctx.eval_indices(), eval_config)
+                       .average_auc);
+    explainers.push_back(std::move(explainer));
+  }
+
+  // Mean pairwise Jaccard of top-20% sets over the evaluation graphs.
+  double cfgx_overlap = 0.0;
+  double random_overlap = 0.0;
+  std::size_t pair_count = 0;
+  RandomExplainer random_a(1), random_b(2), random_c(3);
+  std::array<RandomExplainer*, 3> randoms{&random_a, &random_b, &random_c};
+  for (std::size_t index : ctx.eval_indices()) {
+    const Acfg& graph = ctx.corpus().graph(index);
+    std::array<std::vector<std::uint32_t>, 3> cfgx_tops, random_tops;
+    for (std::size_t s = 0; s < 3; ++s) {
+      cfgx_tops[s] = explainers[s]->explain(graph).top_fraction(0.2);
+      random_tops[s] = randoms[s]->explain(graph).top_fraction(0.2);
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = i + 1; j < 3; ++j) {
+        cfgx_overlap += jaccard(cfgx_tops[i], cfgx_tops[j]);
+        random_overlap += jaccard(random_tops[i], random_tops[j]);
+        ++pair_count;
+      }
+    }
+  }
+  cfgx_overlap /= static_cast<double>(pair_count);
+  random_overlap /= static_cast<double>(pair_count);
+
+  TextTable table({"quantity", "value"}, {Align::Left, Align::Right});
+  for (std::size_t s = 0; s < 3; ++s) {
+    table.add_row({"AUC (seed " + std::to_string(kSeeds[s]) + ")",
+                   format_fixed(aucs[s])});
+  }
+  table.add_rule();
+  table.add_row({"mean pairwise Jaccard, CFGExplainer top-20%",
+                 format_fixed(cfgx_overlap)});
+  table.add_row({"mean pairwise Jaccard, random top-20% (floor)",
+                 format_fixed(random_overlap)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Reading: CFGX overlap well above the random floor means the\n"
+              "method converges to the same evidence, not a seed artifact.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Shared experiment context for the benchmark harness.
+//
+// Every table/figure binary needs the same expensive artifacts: the
+// synthetic corpus, the trained GNN classifier, the trained CFGExplainer
+// Theta, the trained PGExplainer mask predictor, and per-explainer
+// evaluation results. BenchContext builds them on first use and caches
+// them under ./cfgx_bench_cache so that running all binaries in sequence
+// (`for b in build/bench/*; do $b; done`) trains each model exactly once.
+//
+// Flags accepted by every binary:
+//   --fast          quarter-size corpus + shorter training (smoke runs)
+//   --fresh         ignore and overwrite the cache
+//   --cache-dir D   cache directory (default ./cfgx_bench_cache)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explain/baselines.hpp"
+#include "explain/cfg_explainer.hpp"
+#include "explain/evaluate.hpp"
+#include "explain/gnnexplainer.hpp"
+#include "explain/pgexplainer.hpp"
+#include "explain/subgraphx.hpp"
+#include "gnn/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace cfgx::bench {
+
+struct BenchConfig {
+  // Corpus (paper: 1056 graphs = 88/family; here 480 = 40/family).
+  std::size_t samples_per_family = 40;
+  std::uint64_t corpus_seed = 2022;
+  double train_fraction = 0.75;
+  std::uint64_t split_seed = 41;
+
+  // Model training.
+  std::size_t gnn_epochs = 250;
+  std::size_t explainer_epochs = 3000;
+  double score_sparsity = 0.05;
+  std::size_t pg_epochs = 20;
+
+  // Baseline explainer budgets (relative costs chosen so the Table IV
+  // ordering CFGX < PGX << GNNX << SubX emerges, as in the paper).
+  std::size_t gnnx_iterations = 120;
+  std::size_t subx_iterations = 60;
+
+  // Evaluation set: at most this many test graphs per family.
+  std::size_t eval_per_family = 8;
+
+  unsigned step_size_percent = 10;
+  bool fast = false;
+  bool fresh = false;
+  std::string cache_dir = "cfgx_bench_cache";
+
+  static BenchConfig from_cli(const CliArgs& args);
+};
+
+// Evaluation result + the offline training time of the explainer that
+// produced it (0 for local explainers).
+struct NamedEvaluation {
+  ExplainerEvaluation evaluation;
+  double offline_training_seconds = 0.0;
+};
+
+class BenchContext {
+ public:
+  explicit BenchContext(BenchConfig config);
+
+  const BenchConfig& config() const { return config_; }
+  const Corpus& corpus();
+  const Split& split();
+  // Evaluation subset: up to eval_per_family test graphs per family.
+  const std::vector<std::size_t>& eval_indices();
+
+  GnnClassifier& gnn();                // cached: gnn.bin
+  CfgExplainer& cfg_explainer();       // cached: theta.bin
+  PgExplainer& pg_explainer();         // cached: pgx.bin
+  GnnExplainer& gnn_explainer();       // local, no offline phase
+  SubgraphX& subgraphx();              // local, no offline phase
+
+  double gnn_accuracy_on_eval();
+
+  // Cached evaluation of one explainer (cache key = explainer name).
+  NamedEvaluation evaluate(const std::string& name);
+
+  // The four paper explainers in Table III column order.
+  static const std::vector<std::string>& paper_explainers();
+
+ private:
+  std::string cache_path(const std::string& filename) const;
+  Explainer& explainer_by_name(const std::string& name);
+  double offline_seconds(const std::string& name) const;
+
+  BenchConfig config_;
+  std::optional<Corpus> corpus_;
+  std::optional<Split> split_;
+  std::vector<std::size_t> eval_indices_;
+  std::unique_ptr<GnnClassifier> gnn_;
+  std::unique_ptr<CfgExplainer> cfg_explainer_;
+  std::unique_ptr<PgExplainer> pg_explainer_;
+  std::unique_ptr<GnnExplainer> gnn_explainer_;
+  std::unique_ptr<SubgraphX> subgraphx_;
+  std::unique_ptr<RandomExplainer> random_;
+  std::unique_ptr<DegreeExplainer> degree_;
+  double cfg_offline_seconds_ = 0.0;
+  double pg_offline_seconds_ = 0.0;
+};
+
+// (De)serialization of evaluation results for the cross-binary cache.
+void save_evaluation_file(const std::string& path, const NamedEvaluation& eval);
+NamedEvaluation load_evaluation_file(const std::string& path);
+
+// "3.9 +/- 0.5 min"-style rendering for Table IV.
+std::string format_minutes(double seconds);
+
+}  // namespace cfgx::bench

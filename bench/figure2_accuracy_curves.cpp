@@ -1,0 +1,69 @@
+// Figure 2 (a)-(l): classification accuracy of subgraphs containing
+// 10%..100% of nodes, per ACFG family, for CFGExplainer, GNNExplainer,
+// SubgraphX and PGExplainer.
+//
+// The paper plots twelve line charts; this binary prints one table per
+// family with the four explainers as columns, plus the fleet average.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cfgx;
+using namespace cfgx::bench;
+
+int main(int argc, char** argv) {
+  set_global_log_level(LogLevel::Warn);
+  const CliArgs args(argc, argv);
+  BenchContext ctx(BenchConfig::from_cli(args));
+
+  std::printf("=== Figure 2: subgraph classification accuracy vs size ===\n");
+  std::printf("corpus: %zu graphs, eval set: %zu graphs, GNN accuracy on eval: %s\n\n",
+              ctx.corpus().size(), ctx.eval_indices().size(),
+              format_percent(ctx.gnn_accuracy_on_eval()).c_str());
+
+  std::vector<NamedEvaluation> evals;
+  for (const std::string& name : BenchContext::paper_explainers()) {
+    evals.push_back(ctx.evaluate(name));
+  }
+
+  const auto& fractions = evals.front().evaluation.per_family.front().fractions;
+
+  const char* panel = "abcdefghijkl";
+  std::size_t panel_index = 0;
+  for (Family family : kAllFamilies) {
+    std::vector<std::string> header{"size"};
+    for (const auto& eval : evals) {
+      header.push_back(eval.evaluation.explainer_name);
+    }
+    TextTable table(std::move(header),
+                    std::vector<Align>(evals.size() + 1, Align::Right));
+    for (std::size_t g = 0; g < fractions.size(); ++g) {
+      std::vector<std::string> row{format_percent(fractions[g], 0)};
+      for (const auto& eval : evals) {
+        double acc = 0.0;
+        for (const FamilyCurve& curve : eval.evaluation.per_family) {
+          if (curve.family == family) acc = curve.accuracies[g];
+        }
+        row.push_back(format_fixed(acc, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("Figure 2(%c) — %s\n%s\n", panel[panel_index++],
+                to_string(family), table.render().c_str());
+  }
+
+  // Average over families at every size (the shape headline).
+  TextTable avg({"size", "CFGExplainer", "GNNExplainer", "SubgraphX",
+                 "PGExplainer"},
+                std::vector<Align>(5, Align::Right));
+  for (std::size_t g = 0; g < fractions.size(); ++g) {
+    std::vector<std::string> row{format_percent(fractions[g], 0)};
+    for (const auto& eval : evals) {
+      row.push_back(
+          format_fixed(eval.evaluation.average_accuracy_at(fractions[g]), 3));
+    }
+    avg.add_row(std::move(row));
+  }
+  std::printf("Average over all families\n%s\n", avg.render().c_str());
+  return 0;
+}

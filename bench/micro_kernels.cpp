@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) for the numeric kernels that dominate
+// the experiment wall-clock: matrix products, adjacency normalization, GCN
+// layer forward/backward, full-model embedding, one Algorithm-2
+// interpretation and corpus sample generation.
+#include <benchmark/benchmark.h>
+
+#include "core/interpreter.hpp"
+#include "dataset/corpus.hpp"
+#include "gnn/classifier.hpp"
+#include "graph/ops.hpp"
+#include "isa/features.hpp"
+#include "util/rng.hpp"
+
+namespace cfgx {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 64));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_NormalizedAdjacency(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.05)) a(i, j) = 1.0;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normalized_adjacency(a));
+  }
+}
+BENCHMARK(BM_NormalizedAdjacency)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GcnLayerForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  GcnLayer layer(12, 64, rng);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = 1.0;
+  const Matrix a_hat = normalized_adjacency(a);
+  const Matrix h = random_matrix(n, 12, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.infer(a_hat, h));
+  }
+}
+BENCHMARK(BM_GcnLayerForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GcnLayerBackward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  GcnLayer layer(12, 64, rng);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = 1.0;
+  const Matrix a_hat = normalized_adjacency(a);
+  const Matrix h = random_matrix(n, 12, rng);
+  const Matrix grad = random_matrix(n, 64, rng);
+  layer.forward(a_hat, h);
+  for (auto _ : state) {
+    layer.zero_grad();
+    benchmark::DoNotOptimize(layer.backward(grad));
+  }
+}
+BENCHMARK(BM_GcnLayerBackward)->Arg(64)->Arg(128)->Arg(256);
+
+// Shared fixture state for model-level benchmarks: one graph + one model.
+struct ModelFixture {
+  ModelFixture() : rng(5), gnn(GnnConfig{}, rng) {
+    Rng graph_rng(99);
+    graph = generate_acfg(Family::Rbot, graph_rng);
+    adjacency = graph.dense_adjacency();
+  }
+  Rng rng;
+  GnnClassifier gnn;
+  Acfg graph;
+  Matrix adjacency;
+};
+
+ModelFixture& fixture() {
+  static ModelFixture instance;
+  return instance;
+}
+
+void BM_GnnEmbed(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.gnn.embed(f.adjacency, f.graph.features()));
+  }
+}
+BENCHMARK(BM_GnnEmbed);
+
+void BM_GnnPredictMasked(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.gnn.predict_masked(f.adjacency, f.graph.features()));
+  }
+}
+BENCHMARK(BM_GnnPredictMasked);
+
+void BM_AlgorithmTwoInterpretation(benchmark::State& state) {
+  auto& f = fixture();
+  Rng model_rng(6);
+  ExplainerModelConfig config;
+  config.embedding_dim = f.gnn.config().embedding_dim();
+  config.num_classes = f.gnn.config().num_classes;
+  ExplainerModel theta(config, model_rng);
+  Interpreter interpreter(theta, f.gnn);
+  InterpretationConfig interpret_config;
+  interpret_config.keep_adjacency_snapshots = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interpreter.interpret(f.graph, interpret_config));
+  }
+}
+BENCHMARK(BM_AlgorithmTwoInterpretation);
+
+void BM_GenerateSample(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(generate_acfg(Family::Zbot, rng));
+  }
+}
+BENCHMARK(BM_GenerateSample);
+
+void BM_BlockFeatureExtraction(benchmark::State& state) {
+  Rng rng(7);
+  const GeneratedSample sample = generate_program(Family::Vundo, rng);
+  const LiftedCfg cfg = lift_program(sample.program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(to_acfg(cfg, 0, "Vundo"));
+  }
+}
+BENCHMARK(BM_BlockFeatureExtraction);
+
+}  // namespace
+}  // namespace cfgx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#include "core/interpreter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/ops.hpp"
+
+namespace cfgx {
+
+Interpretation Interpreter::interpret(const Acfg& graph,
+                                      const InterpretationConfig& config) const {
+  const unsigned step = config.step_size_percent;
+  if (step == 0 || step > 100 || 100 % step != 0) {
+    throw std::invalid_argument(
+        "Interpreter: step_size must be in (0,100] and divide 100");
+  }
+  const std::uint32_t n_real = graph.num_nodes();
+  if (n_real == 0) throw std::invalid_argument("Interpreter: empty graph");
+
+  // Working copies of A and X that get progressively masked.
+  Matrix adjacency = graph.dense_adjacency();
+  Matrix features = graph.features();
+
+  Interpretation result;
+  result.step_size_percent = step;
+
+  // all_node_indices (Algorithm 2 line 2): nodes not yet pruned.
+  std::vector<std::uint32_t> remaining(n_real);
+  for (std::uint32_t i = 0; i < n_real; ++i) remaining[i] = i;
+
+  std::vector<std::uint32_t> removal_order;  // V_ordered before the reverse
+  removal_order.reserve(n_real);
+
+  const unsigned iterations = 100 / step;
+  for (unsigned it = 0; it < iterations; ++it) {
+    // graph_size runs 100, 100-step, ..., step (Algorithm 2 line 4).
+    // Snapshot the current subgraph (line 5).
+    result.subgraph_nodes.push_back(remaining);
+    if (config.keep_adjacency_snapshots) {
+      result.subgraph_adjacencies.push_back(adjacency);
+    }
+
+    // Re-embed and re-score the masked graph (lines 6-7).
+    const Matrix embeddings = gnn_->embed(adjacency, features);
+    const Matrix scores = model_->score_nodes(embeddings);
+
+    // Number of nodes to prune this iteration. Fractional step sizes are
+    // distributed so the remaining count after iteration `it` equals
+    // round(n_real * (100 - (it+1)*step) / 100); the final iteration
+    // always drains the graph, so V_ordered covers every node.
+    const auto target_remaining = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(n_real) * (100 - (it + 1) * step) + 50) /
+        100);
+    const std::size_t n_step =
+        remaining.size() > target_remaining ? remaining.size() - target_remaining
+                                            : 0;
+
+    // Lines 8-18: repeatedly remove the lowest-scoring surviving node.
+    for (std::size_t k = 0; k < n_step; ++k) {
+      std::size_t min_pos = 0;
+      double min_score = std::numeric_limits<double>::infinity();
+      for (std::size_t pos = 0; pos < remaining.size(); ++pos) {
+        const double score = scores(remaining[pos], 0);
+        if (score < min_score) {
+          min_score = score;
+          min_pos = pos;
+        }
+      }
+      const std::uint32_t victim = remaining[min_pos];
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(min_pos));
+      removal_order.push_back(victim);
+      mask_node(adjacency, features, victim);  // lines 17-18 (+ features)
+    }
+  }
+
+  // Any survivors of rounding join the front of the importance order.
+  // (With exact division `remaining` is empty here.)
+  result.ordered_nodes.assign(remaining.begin(), remaining.end());
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    result.ordered_nodes.push_back(*it);  // line 19: reverse V_ordered
+  }
+
+  // Line 20: smallest subgraph first.
+  std::reverse(result.subgraph_nodes.begin(), result.subgraph_nodes.end());
+  std::reverse(result.subgraph_adjacencies.begin(),
+               result.subgraph_adjacencies.end());
+  return result;
+}
+
+}  // namespace cfgx

@@ -1,0 +1,57 @@
+// The interpretation stage of CFGExplainer (paper Algorithm 2).
+//
+// Iteratively prunes the graph: at each step the current (masked) graph is
+// re-embedded by the frozen GNN, re-scored by Theta_s, and the
+// lowest-scoring surviving nodes are masked out (adjacency row+column and
+// feature row zeroed — DESIGN.md decision 3). The removal order, reversed,
+// is the node importance ranking; the retained adjacency snapshots,
+// reversed, are the subgraph sequence from smallest (top step_size% nodes)
+// to the full graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/explainer_model.hpp"
+#include "gnn/classifier.hpp"
+#include "graph/acfg.hpp"
+
+namespace cfgx {
+
+struct InterpretationConfig {
+  // Percentage of the graph pruned per iteration; must divide 100
+  // (Algorithm 2 precondition: 100 % step_size == 0).
+  unsigned step_size_percent = 10;
+  // When false, only node sets are returned and the (N x N) adjacency
+  // snapshots are skipped — the evaluation harness re-masks on demand.
+  bool keep_adjacency_snapshots = true;
+};
+
+struct Interpretation {
+  // All nodes, most important first (V_ordered reversed, line 19).
+  std::vector<std::uint32_t> ordered_nodes;
+  // Kept-node sets per retained size: subgraph_nodes[k] holds the nodes of
+  // the subgraph with (k+1)*step_size% of the graph; the last entry is the
+  // full node set.
+  std::vector<std::vector<std::uint32_t>> subgraph_nodes;
+  // Matching adjacency snapshots (smallest first), empty when disabled.
+  std::vector<Matrix> subgraph_adjacencies;
+  unsigned step_size_percent = 10;
+};
+
+class Interpreter {
+ public:
+  // Both references are borrowed; the caller keeps them alive. `model`
+  // must be trained (Algorithm 1) against `gnn`'s embeddings.
+  Interpreter(ExplainerModel& model, const GnnClassifier& gnn)
+      : model_(&model), gnn_(&gnn) {}
+
+  Interpretation interpret(const Acfg& graph,
+                           const InterpretationConfig& config = {}) const;
+
+ private:
+  ExplainerModel* model_;
+  const GnnClassifier* gnn_;
+};
+
+}  // namespace cfgx

@@ -1,0 +1,61 @@
+// The initial learning stage of CFGExplainer (paper Algorithm 1).
+//
+// Jointly trains Theta = {Theta_s, Theta_c} with the negative log-likelihood
+// loss  -(1/m) * sum_i log(Y[C_i] + 1e-20)  where C_i is the class label
+// *predicted by the frozen GNN* Phi (Algorithm 1 line 7) — the surrogate
+// learns to reproduce Phi's decisions from score-weighted embeddings, which
+// forces Theta_s to rank node embeddings by their usefulness to Phi.
+//
+// Because Phi is frozen, every graph's embeddings Z_i and GNN label C_i are
+// computed once up front and reused across epochs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/explainer_model.hpp"
+#include "dataset/corpus.hpp"
+#include "gnn/classifier.hpp"
+#include "nn/optimizer.hpp"
+
+namespace cfgx {
+
+struct ExplainerTrainConfig {
+  std::size_t epochs = 400;     // num_epoch in Algorithm 1
+  std::size_t batch_size = 16;  // m, the mini-batch size
+  AdamConfig adam{.learning_rate = 2e-3};
+  // L1 sparsity pressure on the node scores: loss += weight * mean(Psi).
+  // Keeps Psi out of the degenerate all-ones solution so the top of the
+  // importance ranking stays meaningful (DESIGN.md deviation note).
+  double score_sparsity_weight = 0.05;
+  // Checkpoint selection: every `validation_interval` epochs, measure on a
+  // held-out slice of the training graphs how often the top-20%-scored
+  // subgraph retains the GNN's full-graph prediction, and keep the best
+  // checkpoint. Counters the late-training co-adaptation where the
+  // surrogate stays faithful but the scores stop transferring to hard
+  // masking. Set validation_fraction to 0 to disable.
+  double validation_fraction = 0.15;
+  std::size_t validation_interval = 50;
+  std::uint64_t sample_seed = 13;
+  std::function<void(std::size_t, double)> on_epoch;
+};
+
+struct ExplainerTrainResult {
+  std::vector<double> epoch_losses;
+  // Fraction of training graphs whose surrogate prediction matches the
+  // GNN's prediction after training (sanity signal, not a paper metric).
+  double surrogate_fidelity = 0.0;
+  // Validation retention score of the selected checkpoint (0 when
+  // checkpoint selection is disabled).
+  double best_validation_retention = 0.0;
+  std::size_t best_checkpoint_epoch = 0;
+};
+
+ExplainerTrainResult train_explainer(ExplainerModel& model,
+                                     const GnnClassifier& gnn,
+                                     const Corpus& corpus,
+                                     const std::vector<std::size_t>& train_indices,
+                                     const ExplainerTrainConfig& config = {});
+
+}  // namespace cfgx

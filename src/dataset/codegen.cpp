@@ -1,0 +1,284 @@
+#include "dataset/codegen.hpp"
+
+#include <array>
+
+namespace cfgx {
+namespace {
+
+constexpr std::array kGpRegisters = {Register::Eax, Register::Ebx, Register::Ecx,
+                                     Register::Edx, Register::Esi, Register::Edi};
+
+constexpr std::array kBenignApis = {
+    "ds:GetModuleHandleA", "ds:HeapAlloc",     "ds:GetLastError",
+    "ds:lstrlenA",         "ds:GetCurrentProcessId", "ds:CloseHandle",
+};
+
+constexpr std::array kLocalSlots = {"ebp+var_4",  "ebp+var_8",  "ebp+var_C",
+                                    "ebp+var_10", "ebp+var_18", "ebp+arg_0"};
+
+}  // namespace
+
+std::string Codegen::fresh_label(const std::string& stem) {
+  return stem + "_" + std::to_string(label_counter_++);
+}
+
+Register Codegen::random_gp_register() {
+  return kGpRegisters[rng_->uniform_index(kGpRegisters.size())];
+}
+
+void Codegen::emit_one_filler_instruction() {
+  const Register dst = random_gp_register();
+  const Register src = random_gp_register();
+  switch (rng_->uniform_index(8)) {
+    case 0:
+      builder_.emit(Opcode::Mov, Operand::make_reg(dst),
+                    Operand::make_imm(rng_->uniform_int(0, 255)));
+      break;
+    case 1:
+      builder_.emit(Opcode::Mov, Operand::make_reg(dst),
+                    Operand::make_mem(kLocalSlots[rng_->uniform_index(
+                        kLocalSlots.size())]));
+      break;
+    case 2:
+      builder_.emit(Opcode::Add, Operand::make_reg(dst),
+                    Operand::make_imm(rng_->uniform_int(1, 64)));
+      break;
+    case 3:
+      builder_.emit(Opcode::Sub, Operand::make_reg(dst), Operand::make_reg(src));
+      break;
+    case 4:
+      builder_.emit(Opcode::Inc, Operand::make_reg(dst));
+      break;
+    case 5:
+      builder_.emit(Opcode::Shl, Operand::make_reg(dst),
+                    Operand::make_imm(rng_->uniform_int(1, 4)));
+      break;
+    case 6:
+      builder_.emit(Opcode::Push, Operand::make_reg(dst));
+      break;
+    default:
+      builder_.emit(Opcode::Lea, Operand::make_reg(dst),
+                    Operand::make_mem(kLocalSlots[rng_->uniform_index(
+                        kLocalSlots.size())]));
+      break;
+  }
+}
+
+void Codegen::emit_compute(std::size_t length) {
+  for (std::size_t i = 0; i < length; ++i) emit_one_filler_instruction();
+}
+
+void Codegen::emit_branch_diamond(std::size_t arm_length) {
+  const std::string else_label = fresh_label("loc_else");
+  const std::string join_label = fresh_label("loc_join");
+  builder_.emit(Opcode::Cmp, Operand::make_reg(random_gp_register()),
+                Operand::make_imm(rng_->uniform_int(0, 16)));
+  builder_.jcc(Opcode::Je, else_label);
+  emit_compute(arm_length);
+  builder_.jmp(join_label);
+  builder_.label(else_label);
+  emit_compute(arm_length);
+  builder_.label(join_label);
+}
+
+void Codegen::emit_counted_loop(std::size_t body_length, std::int64_t iterations) {
+  const std::string loop_label = fresh_label("loop");
+  builder_.emit(Opcode::Mov, Operand::make_reg(Register::Ecx),
+                Operand::make_imm(iterations));
+  builder_.label(loop_label);
+  emit_compute(body_length);
+  builder_.emit(Opcode::Dec, Operand::make_reg(Register::Ecx));
+  builder_.emit(Opcode::Cmp, Operand::make_reg(Register::Ecx),
+                Operand::make_imm(0));
+  builder_.jcc(Opcode::Jne, loop_label);
+}
+
+void Codegen::emit_benign_api_call() {
+  // Benign code occasionally references string constants (paths, section
+  // names) so the Table-I #string-constants feature is not a dead column.
+  static constexpr std::array kBenignStrings = {"config.ini", "kernel32.dll",
+                                                ".rdata", "C:\\Temp"};
+  if (rng_->bernoulli(0.3)) {
+    builder_.emit(Opcode::Push,
+                  Operand::make_string(
+                      kBenignStrings[rng_->uniform_index(kBenignStrings.size())]));
+  }
+  builder_.emit(Opcode::Push, Operand::make_imm(rng_->uniform_int(0, 32)));
+  builder_.call_api(kBenignApis[rng_->uniform_index(kBenignApis.size())]);
+  // Benign code stores the result to a local instead of immediately
+  // manipulating EAX in the suspicious "code manipulation" shape.
+  builder_.emit(Opcode::Mov,
+                Operand::make_mem(kLocalSlots[rng_->uniform_index(
+                    kLocalSlots.size())]),
+                Operand::make_reg(Register::Ebx));
+}
+
+std::string Codegen::emit_benign_function(std::size_t block_budget) {
+  const std::string entry = fresh_label("sub");
+  builder_.label(entry);
+  builder_.emit(Opcode::Push, Operand::make_reg(Register::Ebp));
+  builder_.emit(Opcode::Mov, Operand::make_reg(Register::Ebp),
+                Operand::make_reg(Register::Esp));
+
+  std::size_t budget = block_budget;
+  while (budget > 0) {
+    switch (rng_->uniform_index(4)) {
+      case 0:
+        emit_branch_diamond(2 + rng_->uniform_index(4));
+        budget = budget >= 3 ? budget - 3 : 0;
+        break;
+      case 1:
+        emit_counted_loop(2 + rng_->uniform_index(3), rng_->uniform_int(4, 64));
+        budget = budget >= 2 ? budget - 2 : 0;
+        break;
+      case 2:
+        emit_compute(3 + rng_->uniform_index(5));
+        budget -= 1;
+        break;
+      default:
+        emit_benign_api_call();
+        emit_compute(1 + rng_->uniform_index(3));
+        budget -= 1;
+        break;
+    }
+  }
+
+  builder_.emit(Opcode::Pop, Operand::make_reg(Register::Ebp));
+  builder_.ret();
+  return entry;
+}
+
+void Codegen::emit_xor_decoder_loop(std::int64_t key, bool byte_key) {
+  PlantScope plant(*this);
+  const std::string loop_label = fresh_label("decode");
+  builder_.emit(Opcode::Mov, Operand::make_reg(Register::Ecx),
+                Operand::make_mem("ebp+lpBuffer"));
+  builder_.emit(Opcode::Mov, Operand::make_reg(Register::Edx),
+                Operand::make_imm(rng_->uniform_int(32, 256)));
+  builder_.label(loop_label);
+  if (byte_key) {
+    // "xor al, 55h" style: byte-register with byte key.
+    builder_.emit(Opcode::Mov, Operand::make_reg(Register::Al),
+                  Operand::make_mem("ecx"));
+    builder_.emit(Opcode::Xor, Operand::make_reg(Register::Al),
+                  Operand::make_imm(key & 0xff));
+    builder_.emit(Opcode::Mov, Operand::make_mem("ecx"),
+                  Operand::make_reg(Register::Al));
+  } else {
+    builder_.emit(Opcode::Xor, Operand::make_mem("ecx"), Operand::make_imm(key));
+  }
+  builder_.emit(Opcode::Inc, Operand::make_reg(Register::Ecx));
+  builder_.emit(Opcode::Dec, Operand::make_reg(Register::Edx));
+  builder_.emit(Opcode::Cmp, Operand::make_reg(Register::Edx),
+                Operand::make_imm(0));
+  builder_.jcc(Opcode::Jnz, loop_label);
+}
+
+void Codegen::emit_xor_obfuscation_block(std::int64_t key) {
+  PlantScope plant(*this);
+  // Register-to-register XOR scrambling with xchg shuffles, as in the
+  // paper's Bifrose example: "xor [ecx],al; xchg al,ah; xor eax,ecx".
+  builder_.emit(Opcode::Xor, Operand::make_mem("ecx"),
+                Operand::make_reg(Register::Al));
+  builder_.emit(Opcode::Xchg, Operand::make_reg(Register::Al),
+                Operand::make_reg(Register::Ah));
+  builder_.emit(Opcode::Xor, Operand::make_reg(Register::Eax),
+                Operand::make_reg(Register::Ecx));
+  builder_.emit(Opcode::Xor, Operand::make_reg(Register::Edi),
+                Operand::make_imm(key));
+  builder_.emit(Opcode::Xor, Operand::make_reg(Register::Edx),
+                Operand::make_reg(Register::Esi));
+}
+
+void Codegen::emit_semantic_nop_sled(std::size_t length) {
+  PlantScope plant(*this);
+  for (std::size_t i = 0; i < length; ++i) {
+    switch (rng_->uniform_index(4)) {
+      case 0:
+        builder_.emit(Opcode::Nop);
+        break;
+      case 1: {
+        const Register r = random_gp_register();
+        builder_.emit(Opcode::Mov, Operand::make_reg(r), Operand::make_reg(r));
+        break;
+      }
+      case 2:
+        builder_.emit(Opcode::Xchg, Operand::make_reg(Register::Dl),
+                      Operand::make_reg(Register::Dl));
+        break;
+      default:
+        builder_.emit(Opcode::Xchg, Operand::make_reg(Register::Esp),
+                      Operand::make_reg(Register::Esp));
+        break;
+    }
+  }
+}
+
+void Codegen::emit_self_loop_block(std::size_t body_length) {
+  PlantScope plant(*this);
+  const std::string self_label = fresh_label("self");
+  builder_.label(self_label);
+  emit_semantic_nop_sled(body_length);
+  builder_.jmp(self_label);
+}
+
+void Codegen::emit_code_manipulation(const std::string& api,
+                                     const std::string& follower_mem) {
+  PlantScope plant(*this);
+  builder_.emit(Opcode::Push, Operand::make_imm(rng_->uniform_int(0, 4096)));
+  builder_.call_api(api);
+  // The defining pattern: the instruction immediately after the call
+  // consumes/overwrites EAX.
+  if (follower_mem.empty()) {
+    builder_.emit(Opcode::Pop, Operand::make_reg(Register::Eax));
+    builder_.emit(Opcode::Add, Operand::make_reg(Register::Esi),
+                  Operand::make_reg(Register::Eax));
+  } else {
+    builder_.emit(Opcode::Mov, Operand::make_reg(Register::Eax),
+                  Operand::make_mem(follower_mem));
+  }
+}
+
+void Codegen::emit_api_chain(std::span<const char* const> apis) {
+  return emit_api_chain(apis, nullptr);
+}
+
+void Codegen::emit_api_chain(std::span<const char* const> apis,
+                             const char* context_string) {
+  PlantScope plant(*this);
+  if (context_string != nullptr) {
+    builder_.emit(Opcode::Push, Operand::make_string(context_string));
+  }
+  for (const char* api : apis) {
+    builder_.emit(Opcode::Push,
+                  Operand::make_mem(kLocalSlots[rng_->uniform_index(
+                      kLocalSlots.size())]));
+    builder_.emit(Opcode::Push, Operand::make_imm(rng_->uniform_int(0, 64)));
+    builder_.call_api(api);
+    builder_.emit(Opcode::Test, Operand::make_reg(Register::Eax),
+                  Operand::make_reg(Register::Eax));
+  }
+}
+
+void Codegen::emit_dispatcher(std::size_t fanout) {
+  PlantScope plant(*this);
+  const std::string exit_label = fresh_label("disp_exit");
+  std::vector<std::string> cases;
+  cases.reserve(fanout);
+  for (std::size_t i = 0; i < fanout; ++i) cases.push_back(fresh_label("case"));
+
+  for (std::size_t i = 0; i < fanout; ++i) {
+    builder_.emit(Opcode::Cmp, Operand::make_reg(Register::Eax),
+                  Operand::make_imm(static_cast<std::int64_t>(i)));
+    builder_.jcc(Opcode::Je, cases[i]);
+  }
+  builder_.jmp(exit_label);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    builder_.label(cases[i]);
+    emit_compute(2 + rng_->uniform_index(3));
+    builder_.jmp(exit_label);
+  }
+  builder_.label(exit_label);
+}
+
+}  // namespace cfgx

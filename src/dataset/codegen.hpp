@@ -1,0 +1,129 @@
+// Code-generation toolkit for the synthetic corpus.
+//
+// Codegen wraps a ProgramBuilder with (a) benign scaffolding emitters
+// (straight-line compute blocks, branch diamonds, counted loops, benign API
+// usage) shared by all families, and (b) malicious *motif* emitters that
+// plant the behaviours the paper's Table V observed in real samples:
+//
+//   - XOR-decoder loops and register/constant XOR obfuscation
+//   - semantic-NOP sleds (nop / "mov esi, esi" / "xchg dl, dl")
+//   - call-result code manipulation (call ...; mov eax, ...)
+//   - Windows API behaviour chains (CreateThread/ReadFile/send, ...)
+//   - self-looping blocks (unconditional jumps to themselves)
+//   - dispatcher chains (bot command switches)
+//
+// Every motif emitter records the emitted instruction range in
+// planted_ranges(); the corpus builder maps those ranges to basic blocks
+// and marks them as ground-truth "malicious" nodes on the ACFG.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "util/rng.hpp"
+
+namespace cfgx {
+
+using InstrRange = std::pair<std::size_t, std::size_t>;  // [first, last)
+
+class Codegen {
+ public:
+  explicit Codegen(Rng& rng) : rng_(&rng) {}
+
+  ProgramBuilder& builder() noexcept { return builder_; }
+  Rng& rng() noexcept { return *rng_; }
+
+  // Fresh unique label, e.g. "loop_17".
+  std::string fresh_label(const std::string& stem);
+
+  // --- benign scaffolding ---
+
+  // Straight-line mov/arith/compare filler of `length` instructions.
+  void emit_compute(std::size_t length);
+
+  // cmp+jcc diamond: two alternative compute arms joining afterwards.
+  void emit_branch_diamond(std::size_t arm_length);
+
+  // Counted loop running a small compute body.
+  void emit_counted_loop(std::size_t body_length, std::int64_t iterations);
+
+  // A call to a harmless Windows API with argument pushes.
+  void emit_benign_api_call();
+
+  // A complete function: label, prologue, branches/loops/compute per
+  // `block_budget`, optional benign API calls, epilogue + ret.
+  // Returns the function's entry label.
+  std::string emit_benign_function(std::size_t block_budget);
+
+  // --- malicious motifs (plant-tracked) ---
+
+  // XOR-decoder loop over a buffer: xor [ecx], key; inc ecx; cmp/jne.
+  // byte_key selects the 8-bit register variant ("xor al, 55h" style).
+  void emit_xor_decoder_loop(std::int64_t key, bool byte_key);
+
+  // Single obfuscating XOR instructions woven into a compute block:
+  // xor r1, r2 / xor reg, big-constant / xchg shuffles.
+  void emit_xor_obfuscation_block(std::int64_t key);
+
+  // nop / mov r,r / xchg r,r sled of `length` instructions.
+  void emit_semantic_nop_sled(std::size_t length);
+
+  // A block that loops itself with an unconditional jump (Bagle/Vundo
+  // micro-analysis: "looping themselves using unconditional jumps").
+  void emit_self_loop_block(std::size_t body_length);
+
+  // call <api>; <instruction touching eax> — the paper's "code
+  // manipulation" pattern. `follower_mem` is the memory expression the
+  // following mov reads (e.g. "ebp+var_18").
+  void emit_code_manipulation(const std::string& api,
+                              const std::string& follower_mem);
+
+  // Pushes plausible arguments and calls each API in order, with light
+  // compute in between. One block-ish region; plant-tracked. The overload
+  // with `context_string` pushes a family-characteristic string constant
+  // first (mutex names, URLs, target filenames).
+  void emit_api_chain(std::span<const char* const> apis);
+  void emit_api_chain(std::span<const char* const> apis,
+                      const char* context_string);
+
+  // Bot command dispatcher: a chain of cmp-eax/je blocks fanning out to
+  // `fanout` handler stubs that jump to a common exit. Structural motif.
+  void emit_dispatcher(std::size_t fanout);
+
+  const std::vector<InstrRange>& planted_ranges() const noexcept {
+    return planted_;
+  }
+
+  Program finish() { return builder_.build(); }
+
+ private:
+  // RAII plant-range recorder.
+  class PlantScope {
+   public:
+    explicit PlantScope(Codegen& gen)
+        : gen_(gen), first_(gen.builder_.next_index()) {}
+    ~PlantScope() {
+      gen_.planted_.emplace_back(first_, gen_.builder_.next_index());
+    }
+    PlantScope(const PlantScope&) = delete;
+    PlantScope& operator=(const PlantScope&) = delete;
+
+   private:
+    Codegen& gen_;
+    std::size_t first_;
+  };
+
+  Register random_gp_register();
+  void emit_one_filler_instruction();
+
+  ProgramBuilder builder_;
+  Rng* rng_;
+  std::vector<InstrRange> planted_;
+  std::size_t label_counter_ = 0;
+};
+
+}  // namespace cfgx

@@ -1,0 +1,39 @@
+#include "dataset/families.hpp"
+
+#include <stdexcept>
+
+namespace cfgx {
+
+const char* to_string(Family family) noexcept {
+  switch (family) {
+    case Family::Bagle: return "Bagle";
+    case Family::Bifrose: return "Bifrose";
+    case Family::Hupigon: return "Hupigon";
+    case Family::Ldpinch: return "Ldpinch";
+    case Family::Lmir: return "Lmir";
+    case Family::Rbot: return "Rbot";
+    case Family::Sdbot: return "Sdbot";
+    case Family::Swizzor: return "Swizzor";
+    case Family::Vundo: return "Vundo";
+    case Family::Zbot: return "Zbot";
+    case Family::Zlob: return "Zlob";
+    case Family::Benign: return "Benign";
+  }
+  return "?";
+}
+
+Family family_from_string(const std::string& name) {
+  for (Family family : kAllFamilies) {
+    if (name == to_string(family)) return family;
+  }
+  throw std::invalid_argument("unknown family name: '" + name + "'");
+}
+
+Family family_from_label(int label) {
+  if (label < 0 || label >= static_cast<int>(kFamilyCount)) {
+    throw std::invalid_argument("family label out of range: " + std::to_string(label));
+  }
+  return static_cast<Family>(label);
+}
+
+}  // namespace cfgx

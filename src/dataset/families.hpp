@@ -1,0 +1,45 @@
+// The 12 ACFG classes of the paper's YANCFG dataset: 11 malware families
+// (Bagle, Bifrose, Hupigon, Ldpinch, Lmir, Rbot, Sdbot, Swizzor, Vundo,
+// Zbot, Zlob) and one Benign class.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace cfgx {
+
+enum class Family : int {
+  Bagle = 0,
+  Bifrose,
+  Hupigon,
+  Ldpinch,
+  Lmir,
+  Rbot,
+  Sdbot,
+  Swizzor,
+  Vundo,
+  Zbot,
+  Zlob,
+  Benign,
+};
+
+inline constexpr std::size_t kFamilyCount = 12;
+
+inline constexpr std::array<Family, kFamilyCount> kAllFamilies = {
+    Family::Bagle, Family::Bifrose, Family::Hupigon, Family::Ldpinch,
+    Family::Lmir,  Family::Rbot,    Family::Sdbot,   Family::Swizzor,
+    Family::Vundo, Family::Zbot,    Family::Zlob,    Family::Benign,
+};
+
+const char* to_string(Family family) noexcept;
+
+// Parses a family name (case-sensitive, as printed by to_string); throws
+// std::invalid_argument for unknown names.
+Family family_from_string(const std::string& name);
+
+inline int family_label(Family family) noexcept { return static_cast<int>(family); }
+
+Family family_from_label(int label);
+
+}  // namespace cfgx

@@ -1,0 +1,211 @@
+#include "dataset/generator.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/features.hpp"
+#include "isa/lifter.hpp"
+
+namespace cfgx {
+namespace {
+
+// Emits one malicious function for `family` and returns its entry label.
+// Every motif call inside is plant-tracked by Codegen.
+std::string emit_malicious_function(Codegen& gen, Family family) {
+  Rng& rng = gen.rng();
+  ProgramBuilder& b = gen.builder();
+  const std::string entry = gen.fresh_label("mal");
+  b.label(entry);
+  b.emit(Opcode::Push, Operand::make_reg(Register::Ebp));
+  b.emit(Opcode::Mov, Operand::make_reg(Register::Ebp),
+         Operand::make_reg(Register::Esp));
+
+  switch (family) {
+    case Family::Bagle: {
+      gen.emit_semantic_nop_sled(6 + rng.uniform_index(6));
+      gen.emit_code_manipulation("sub_414120", "");  // call; pop eax; add esi,eax
+      if (rng.bernoulli(0.7)) gen.emit_self_loop_block(2 + rng.uniform_index(3));
+      static constexpr std::array apis = {"ds:CreateFileA", "ds:WriteFile",
+                                          "ds:send"};
+      gen.emit_api_chain(apis, "smtp.mail.ru");
+      break;
+    }
+    case Family::Bifrose: {
+      gen.emit_code_manipulation("ds:Sleep", "ebp+var_EC.hProcess");
+      gen.emit_xor_obfuscation_block(rng.uniform_int(0x1000, 0xffff));
+      static constexpr std::array apis = {"ds:socket", "ds:connect", "ds:recv",
+                                          "ds:send"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Hupigon: {
+      gen.emit_xor_decoder_loop(0x55, /*byte_key=*/true);
+      static constexpr std::array apis = {"ds:RegOpenKeyA", "ds:RegSetValueA",
+                                          "ds:CreateProcessA"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Ldpinch: {
+      gen.emit_code_manipulation("sub_4010A6", "");
+      static constexpr std::array apis = {
+          "ds:CreateThread", "ds:CreatePipe", "ds:ReadFile",
+          "ds:send",         "ds:recv",       "ds:WriteFile",
+          "ds:CreateProcessA"};
+      gen.emit_api_chain(apis, "\\pstorec.dll");
+      break;
+    }
+    case Family::Lmir: {
+      gen.emit_code_manipulation("ds:GetModuleFileNameA", "ebp+var_C");
+      gen.emit_xor_obfuscation_block(rng.uniform_int(0x10, 0xff));
+      static constexpr std::array apis = {"ds:CreateFileA", "ds:ReadFile",
+                                          "ds:send"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Rbot: {
+      gen.emit_dispatcher(6 + rng.uniform_index(5));
+      gen.emit_code_manipulation("sub_619E4", "ebp+var_18");
+      static constexpr std::array apis = {"ds:socket", "ds:connect", "ds:send",
+                                          "ds:recv"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Sdbot: {
+      gen.emit_code_manipulation("ds:QueryPerformanceCounter", "ebp+var_9C");
+      gen.emit_dispatcher(3 + rng.uniform_index(3));
+      static constexpr std::array apis = {"ds:socket", "ds:send"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Swizzor: {
+      gen.emit_code_manipulation("_SEH_prolog", "dword_4347E8");
+      gen.emit_xor_obfuscation_block(0xFFFFFFFF);
+      static constexpr std::array apis = {"ds:InternetOpenA",
+                                          "ds:HttpSendRequestA"};
+      gen.emit_api_chain(apis, "http://ads.example/track");
+      break;
+    }
+    case Family::Vundo: {
+      gen.emit_xor_obfuscation_block(0x68A25749);
+      gen.emit_semantic_nop_sled(8 + rng.uniform_index(7));
+      if (rng.bernoulli(0.5)) gen.emit_self_loop_block(2 + rng.uniform_index(2));
+      static constexpr std::array apis = {"ds:VirtualAlloc",
+                                          "ds:WriteProcessMemory"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Zbot: {
+      gen.emit_code_manipulation("j_SleepEx", "ecx");
+      gen.emit_xor_obfuscation_block(0x87BDC1D7);
+      static constexpr std::array apis = {"ds:CryptEncrypt", "ds:RegSetValueA",
+                                          "ds:send"};
+      gen.emit_api_chain(apis);
+      break;
+    }
+    case Family::Zlob: {
+      gen.emit_code_manipulation("ds:wsprintfA", "ebp+hModule");
+      static constexpr std::array apis = {"ds:RegCreateKeyA",
+                                          "ds:CreateProcessA",
+                                          "ds:LoadLibraryA"};
+      gen.emit_api_chain(apis, "videocodec.dll");
+      break;
+    }
+    case Family::Benign:
+      // No malicious motifs; a benign function stands in.
+      gen.emit_compute(4 + rng.uniform_index(4));
+      break;
+  }
+
+  b.emit(Opcode::Pop, Operand::make_reg(Register::Ebp));
+  b.ret();
+  return entry;
+}
+
+// Per-family structural knobs layered over GeneratorConfig so families also
+// differ topologically (function count bias, loop/dispatcher density).
+std::size_t benign_function_count(Family family, Rng& rng,
+                                  const GeneratorConfig& config) {
+  std::size_t lo = config.min_benign_functions;
+  std::size_t hi = config.max_benign_functions;
+  switch (family) {
+    case Family::Swizzor:  // deep call chains: more, smaller functions
+      lo += 2; hi += 3;
+      break;
+    case Family::Rbot:
+    case Family::Sdbot:    // bots: moderate count
+      lo += 1; hi += 1;
+      break;
+    case Family::Benign:   // richest benign scaffolding
+      lo += 1; hi += 2;
+      break;
+    default:
+      break;
+  }
+  return lo + rng.uniform_index(hi - lo + 1);
+}
+
+}  // namespace
+
+GeneratedSample generate_program(Family family, Rng& rng,
+                                 const GeneratorConfig& config) {
+  if (config.min_benign_functions == 0 ||
+      config.min_benign_functions > config.max_benign_functions ||
+      config.min_block_budget > config.max_block_budget ||
+      config.min_motif_repeats > config.max_motif_repeats) {
+    throw std::invalid_argument("generate_program: inconsistent GeneratorConfig");
+  }
+
+  Codegen gen(rng);
+  ProgramBuilder& b = gen.builder();
+
+  std::vector<std::string> function_labels;
+
+  const std::size_t benign_count = benign_function_count(family, rng, config);
+  for (std::size_t i = 0; i < benign_count; ++i) {
+    const std::size_t budget =
+        config.min_block_budget +
+        rng.uniform_index(config.max_block_budget - config.min_block_budget + 1);
+    function_labels.push_back(gen.emit_benign_function(budget));
+  }
+
+  std::size_t motif_count =
+      config.min_motif_repeats +
+      rng.uniform_index(config.max_motif_repeats - config.min_motif_repeats + 1);
+  if (family == Family::Benign) motif_count = 1;  // one extra benign function
+  for (std::size_t i = 0; i < motif_count; ++i) {
+    function_labels.push_back(emit_malicious_function(gen, family));
+  }
+
+  // Entry function: calls every generated function so the whole CFG is
+  // connected through call edges, in shuffled order.
+  rng.shuffle(function_labels);
+  b.label("start");
+  b.emit(Opcode::Push, Operand::make_reg(Register::Ebp));
+  b.emit(Opcode::Mov, Operand::make_reg(Register::Ebp),
+         Operand::make_reg(Register::Esp));
+  for (const std::string& label : function_labels) {
+    b.call_label(label);
+  }
+  b.emit(Opcode::Pop, Operand::make_reg(Register::Ebp));
+  b.ret();
+
+  GeneratedSample sample;
+  sample.planted = gen.planted_ranges();
+  sample.program = gen.finish();
+  return sample;
+}
+
+Acfg generate_acfg(Family family, Rng& rng, const GeneratorConfig& config) {
+  const GeneratedSample sample = generate_program(family, rng, config);
+  const LiftedCfg cfg = lift_program(sample.program);
+  Acfg graph = to_acfg(cfg, family_label(family), to_string(family));
+  for (const InstrRange& range : sample.planted) {
+    for (std::size_t i = range.first; i < range.second; ++i) {
+      graph.mark_planted(cfg.block_of_instruction(i));
+    }
+  }
+  return graph;
+}
+
+}  // namespace cfgx

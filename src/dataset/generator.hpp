@@ -1,0 +1,53 @@
+// Synthetic sample generation: Family -> Program -> ACFG with ground truth.
+//
+// Each family recipe emits shared benign scaffolding (functions with
+// branches, loops, benign API use) plus the family's malicious motif
+// functions. The motifs are chosen to reproduce the behaviours the paper's
+// Table V attributes to each family, e.g.:
+//
+//   Bagle    semantic-NOP sleds, call/pop-eax manipulation, self-loops
+//   Bifrose  Sleep-result manipulation, xor/xchg scrambles, backdoor socket
+//   Hupigon  "xor al, 55h" byte-key decoder, registry + process creation
+//   Ldpinch  CreateThread/CreatePipe/ReadFile/send credential exfiltration
+//   Lmir     GetModuleFileNameA manipulation, decoder, file theft
+//   Rbot     command dispatcher chains, socket loops
+//   Sdbot    QueryPerformanceCounter manipulation, smaller dispatcher
+//   Swizzor  _SEH_prolog manipulation, xor eax,0FFFFFFFFh, HTTP chains
+//   Vundo    68A25749h-key XOR, NOP sleds, code injection APIs
+//   Zbot     87BDC1D7h-key XOR, j_SleepEx manipulation, crypto + registry
+//   Zlob     wsprintfA manipulation, registry + fake-codec process spawn
+//   Benign   scaffolding only — no motifs, no planted nodes
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/codegen.hpp"
+#include "dataset/families.hpp"
+#include "graph/acfg.hpp"
+#include "util/rng.hpp"
+
+namespace cfgx {
+
+struct GeneratorConfig {
+  std::size_t min_benign_functions = 3;
+  std::size_t max_benign_functions = 6;
+  std::size_t min_block_budget = 4;   // per benign function
+  std::size_t max_block_budget = 9;
+  std::size_t min_motif_repeats = 2;  // malicious functions per sample
+  std::size_t max_motif_repeats = 4;
+};
+
+struct GeneratedSample {
+  Program program;
+  std::vector<InstrRange> planted;  // instruction ranges of malicious motifs
+};
+
+// Deterministic in (family, rng state, config).
+GeneratedSample generate_program(Family family, Rng& rng,
+                                 const GeneratorConfig& config = {});
+
+// Full pipeline: generate -> lift -> Table-I features -> planted-node
+// ground truth. The returned graph's label/family are set from `family`.
+Acfg generate_acfg(Family family, Rng& rng, const GeneratorConfig& config = {});
+
+}  // namespace cfgx

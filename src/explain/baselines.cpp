@@ -1,0 +1,29 @@
+#include "explain/baselines.hpp"
+
+#include "util/rng.hpp"
+
+namespace cfgx {
+
+NodeRanking RandomExplainer::explain(const Acfg& graph) {
+  NodeRanking ranking;
+  ranking.order.resize(graph.num_nodes());
+  for (std::uint32_t i = 0; i < graph.num_nodes(); ++i) ranking.order[i] = i;
+  // Seed varies per graph so different samples get different orders but the
+  // whole evaluation stays reproducible.
+  Rng rng(seed_ ^ (graph.num_nodes() * 0x9e3779b97f4a7c15ULL) ^
+          graph.num_edges());
+  rng.shuffle(ranking.order);
+  return ranking;
+}
+
+NodeRanking DegreeExplainer::explain(const Acfg& graph) {
+  const auto out = graph.out_degrees();
+  const auto in = graph.in_degrees();
+  std::vector<double> scores(graph.num_nodes());
+  for (std::uint32_t i = 0; i < graph.num_nodes(); ++i) {
+    scores[i] = static_cast<double>(out[i]) + static_cast<double>(in[i]);
+  }
+  return ranking_from_scores(scores);
+}
+
+}  // namespace cfgx

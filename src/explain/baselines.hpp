@@ -1,0 +1,29 @@
+// Trivial baselines for the ablation benches: a seeded random ordering and
+// a degree-based ordering (are learned scores better than "keep the hubs"?).
+#pragma once
+
+#include <cstdint>
+
+#include "explain/explainer_api.hpp"
+
+namespace cfgx {
+
+class RandomExplainer : public Explainer {
+ public:
+  explicit RandomExplainer(std::uint64_t seed = 17) : seed_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  NodeRanking explain(const Acfg& graph) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Ranks nodes by total (in + out) degree, descending.
+class DegreeExplainer : public Explainer {
+ public:
+  std::string name() const override { return "Degree"; }
+  NodeRanking explain(const Acfg& graph) override;
+};
+
+}  // namespace cfgx

@@ -1,0 +1,53 @@
+// Adapter exposing the paper's CFGExplainer (src/core) through the common
+// Explainer interface used by the comparison harness.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/explainer_model.hpp"
+#include "core/interpreter.hpp"
+#include "core/trainer.hpp"
+#include "explain/explainer_api.hpp"
+#include "gnn/classifier.hpp"
+
+namespace cfgx {
+
+class CfgExplainer : public Explainer {
+ public:
+  // `gnn` is borrowed and must outlive the explainer.
+  CfgExplainer(const GnnClassifier& gnn, ExplainerTrainConfig train_config = {},
+               InterpretationConfig interpret_config = {.keep_adjacency_snapshots = false},
+               std::uint64_t init_seed = 99);
+
+  std::string name() const override { return "CFGExplainer"; }
+
+  // Runs Algorithm 1 (joint training of Theta_s + Theta_c).
+  void fit(const Corpus& corpus,
+           const std::vector<std::size_t>& train_indices) override;
+
+  // Runs Algorithm 2 and returns the importance ordering.
+  NodeRanking explain(const Acfg& graph) override;
+
+  bool fitted() const noexcept { return fitted_; }
+  ExplainerModel& model() { return model_; }
+  const ExplainerTrainResult& train_result() const { return train_result_; }
+
+  // Checkpointing of the trained Theta (bench artifact cache).
+  void save_model_file(const std::string& path) const { model_.save_file(path); }
+  void load_model_file(const std::string& path);  // marks the explainer fitted
+
+  // Full Algorithm-2 output (subgraph node sets / adjacencies) for callers
+  // that need more than the ranking (Table V qualitative analysis).
+  Interpretation interpret(const Acfg& graph) const;
+
+ private:
+  const GnnClassifier* gnn_;
+  ExplainerModel model_;
+  ExplainerTrainConfig train_config_;
+  InterpretationConfig interpret_config_;
+  ExplainerTrainResult train_result_;
+  bool fitted_ = false;
+};
+
+}  // namespace cfgx

@@ -1,0 +1,39 @@
+#include "explain/explainer_api.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/ops.hpp"
+
+namespace cfgx {
+
+std::vector<std::uint32_t> NodeRanking::top_fraction(double fraction) const {
+  const std::size_t k =
+      nodes_for_fraction(static_cast<std::uint32_t>(order.size()), fraction);
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k)};
+}
+
+NodeRanking ranking_from_scores(const std::vector<double>& scores) {
+  NodeRanking ranking;
+  ranking.order = top_k_nodes(scores, scores.size());
+  return ranking;
+}
+
+std::vector<double> node_scores_from_edge_scores(
+    const Acfg& graph, const std::vector<double>& edge_scores) {
+  if (edge_scores.size() != graph.num_edges()) {
+    throw std::invalid_argument(
+        "node_scores_from_edge_scores: edge score arity mismatch");
+  }
+  std::vector<double> node_scores(graph.num_nodes(),
+                                  -std::numeric_limits<double>::infinity());
+  const auto& edges = graph.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    node_scores[edges[e].src] = std::max(node_scores[edges[e].src], edge_scores[e]);
+    node_scores[edges[e].dst] = std::max(node_scores[edges[e].dst], edge_scores[e]);
+  }
+  return node_scores;
+}
+
+}  // namespace cfgx

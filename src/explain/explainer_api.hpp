@@ -1,0 +1,57 @@
+// Common interface for all graph explainers compared in the paper's
+// evaluation (Section V-B): CFGExplainer, GNNExplainer, SubgraphX,
+// PGExplainer, plus trivial ablation baselines.
+//
+// An explanation is a total importance ordering of the graph's nodes
+// (most important first). Equisized subgraphs — the unit of comparison in
+// Figure 2 / Table III — are prefixes of that ordering. Explainers whose
+// native output is an edge mask (GNNExplainer, PGExplainer) convert edge
+// scores to node scores via the maximum incident edge score (DESIGN.md
+// decision 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "graph/acfg.hpp"
+
+namespace cfgx {
+
+struct NodeRanking {
+  // Every node of the graph exactly once, most important first.
+  std::vector<std::uint32_t> order;
+
+  // The top ceil(fraction * N) nodes.
+  std::vector<std::uint32_t> top_fraction(double fraction) const;
+};
+
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  virtual std::string name() const = 0;
+
+  // Offline training phase (CFGExplainer, PGExplainer). Local-search
+  // explainers (GNNExplainer, SubgraphX) keep the no-op default.
+  virtual void fit(const Corpus& corpus,
+                   const std::vector<std::size_t>& train_indices) {
+    (void)corpus;
+    (void)train_indices;
+  }
+
+  // Produces the node importance ranking for one graph.
+  virtual NodeRanking explain(const Acfg& graph) = 0;
+};
+
+// Helper shared by score-based explainers: ranking by descending score,
+// ties broken by lower node index.
+NodeRanking ranking_from_scores(const std::vector<double>& scores);
+
+// Edge-score -> node-score conversion: node score = max over incident
+// (either direction) edge scores; isolated nodes score -infinity.
+std::vector<double> node_scores_from_edge_scores(
+    const Acfg& graph, const std::vector<double>& edge_scores);
+
+}  // namespace cfgx

@@ -1,0 +1,66 @@
+// GNNExplainer baseline (Ying et al., NeurIPS 2019), as described in the
+// paper's Section II-C: per-graph edge-mask optimization.
+//
+// For each graph, a free parameter m_e per edge is optimized so that the
+// masked graph A .* sigmoid(m) keeps the pre-trained GNN's prediction
+// (mutual-information objective realized as cross-entropy against the GNN's
+// own full-graph prediction), plus the standard size and entropy
+// regularizers. Gradients flow through the GCN to the adjacency entries
+// (normalization coefficients held constant — the reference implementation
+// trick). No global training: every explanation starts from scratch,
+// which is exactly why this baseline is slow (Table IV).
+#pragma once
+
+#include <cstdint>
+
+#include "explain/explainer_api.hpp"
+#include "gnn/classifier.hpp"
+#include "nn/optimizer.hpp"
+
+namespace cfgx {
+
+struct GnnExplainerConfig {
+  std::size_t iterations = 120;     // optimization steps per graph
+  double learning_rate = 0.05;
+  double size_weight = 0.005;       // lambda * sum sigmoid(m)
+  double entropy_weight = 0.1;      // lambda * sum H(sigmoid(m))
+  double mask_init_mean = 1.0;      // masks start mostly-open
+  double mask_init_stddev = 0.1;
+  // Ying et al.'s optional second mask: a per-feature gate shared across
+  // nodes, optimized jointly with the edge mask. The learned gates expose
+  // which Table-I block features the prediction relies on.
+  bool learn_feature_mask = false;
+  double feature_size_weight = 0.05;
+  std::uint64_t seed = 31;
+};
+
+class GnnExplainer : public Explainer {
+ public:
+  // Keeps a private clone of the GNN because mask optimization uses the
+  // classifier's cached-gradient path.
+  GnnExplainer(const GnnClassifier& gnn, GnnExplainerConfig config = {});
+
+  std::string name() const override { return "GNNExplainer"; }
+
+  NodeRanking explain(const Acfg& graph) override;
+
+  // The optimized per-edge mask probabilities of the last explain() call
+  // (aligned with graph.edges()); exposed for tests.
+  const std::vector<double>& last_edge_scores() const {
+    return last_edge_scores_;
+  }
+
+  // Per-feature gate probabilities of the last explain() call; empty when
+  // learn_feature_mask is off. Index = Table-I feature index.
+  const std::vector<double>& last_feature_scores() const {
+    return last_feature_scores_;
+  }
+
+ private:
+  GnnClassifier gnn_;
+  GnnExplainerConfig config_;
+  std::vector<double> last_edge_scores_;
+  std::vector<double> last_feature_scores_;
+};
+
+}  // namespace cfgx

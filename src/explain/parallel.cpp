@@ -1,0 +1,55 @@
+#include "explain/parallel.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <thread>
+
+namespace cfgx {
+
+std::vector<NodeRanking> explain_batch(const std::vector<const Acfg*>& graphs,
+                                       ThreadPool& pool,
+                                       const ExplainerFactory& factory) {
+  for (const Acfg* graph : graphs) {
+    if (graph == nullptr) {
+      throw std::invalid_argument("explain_batch: null graph pointer");
+    }
+  }
+
+  std::vector<NodeRanking> rankings(graphs.size());
+
+  // One lazily-created explainer per worker thread.
+  std::mutex registry_mutex;
+  std::unordered_map<std::thread::id, std::unique_ptr<Explainer>> registry;
+  const auto explainer_for_this_thread = [&]() -> Explainer& {
+    const auto id = std::this_thread::get_id();
+    {
+      std::lock_guard lock(registry_mutex);
+      const auto it = registry.find(id);
+      if (it != registry.end()) return *it->second;
+    }
+    std::unique_ptr<Explainer> fresh = factory();
+    if (!fresh) {
+      throw std::logic_error("explain_batch: factory returned null");
+    }
+    std::lock_guard lock(registry_mutex);
+    return *registry.emplace(id, std::move(fresh)).first->second;
+  };
+
+  pool.parallel_for(graphs.size(), [&](std::size_t i) {
+    rankings[i] = explainer_for_this_thread().explain(*graphs[i]);
+  });
+  return rankings;
+}
+
+std::vector<NodeRanking> explain_batch(const Corpus& corpus,
+                                       const std::vector<std::size_t>& indices,
+                                       ThreadPool& pool,
+                                       const ExplainerFactory& factory) {
+  std::vector<const Acfg*> graphs;
+  graphs.reserve(indices.size());
+  for (std::size_t index : indices) graphs.push_back(&corpus.graph(index));
+  return explain_batch(graphs, pool, factory);
+}
+
+}  // namespace cfgx

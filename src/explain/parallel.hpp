@@ -1,0 +1,38 @@
+// Parallel batch explanation.
+//
+// Per-graph explanation is embarrassingly parallel, but most explainers
+// carry per-call mutable state (layer caches, RNGs), so a single instance
+// cannot be shared across threads. explain_batch takes a *factory* and
+// gives every worker its own explainer instance; results come back in
+// input order and are bit-identical to a serial run because each graph's
+// computation is seed-isolated.
+//
+//   ThreadPool pool;
+//   auto rankings = explain_batch(
+//       graphs, pool, [&] { return std::make_unique<GnnExplainer>(gnn); });
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "explain/explainer_api.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cfgx {
+
+using ExplainerFactory = std::function<std::unique_ptr<Explainer>()>;
+
+// Explains every graph; rankings[i] corresponds to graphs[i]. Worker count
+// is the pool's; each worker constructs at most one explainer. Exceptions
+// from factories or explainers propagate to the caller.
+std::vector<NodeRanking> explain_batch(
+    const std::vector<const Acfg*>& graphs, ThreadPool& pool,
+    const ExplainerFactory& factory);
+
+// Convenience overload over a corpus subset.
+std::vector<NodeRanking> explain_batch(
+    const Corpus& corpus, const std::vector<std::size_t>& indices,
+    ThreadPool& pool, const ExplainerFactory& factory);
+
+}  // namespace cfgx

@@ -1,0 +1,58 @@
+#include "gnn/gcn.hpp"
+
+namespace cfgx {
+namespace {
+
+Matrix add_bias_rows(Matrix m, const Matrix& bias) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) += bias(0, c);
+  }
+  return m;
+}
+
+Matrix relu(Matrix m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] < 0.0) m.data()[i] = 0.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+GcnLayer::GcnLayer(std::size_t in_features, std::size_t out_features, Rng& rng,
+                   std::string name)
+    : weight_(name + ".W", glorot_uniform(in_features, out_features, rng)),
+      bias_(name + ".b", Matrix(1, out_features)) {}
+
+Matrix GcnLayer::infer(const Matrix& a_hat, const Matrix& h) const {
+  return relu(add_bias_rows(matmul(a_hat, matmul(h, weight_.value)), bias_.value));
+}
+
+Matrix GcnLayer::forward(const Matrix& a_hat, const Matrix& h) {
+  cached_a_hat_ = a_hat;
+  cached_h_ = h;
+  cached_hw_ = matmul(h, weight_.value);
+  cached_preactivation_ =
+      add_bias_rows(matmul(a_hat, cached_hw_), bias_.value);
+  return relu(cached_preactivation_);
+}
+
+Matrix GcnLayer::backward(const Matrix& grad_output, Matrix* grad_a_hat) {
+  // dP = dZ .* 1[P > 0]
+  Matrix grad_pre = grad_output;
+  for (std::size_t i = 0; i < grad_pre.size(); ++i) {
+    if (cached_preactivation_.data()[i] <= 0.0) grad_pre.data()[i] = 0.0;
+  }
+
+  bias_.grad += grad_pre.col_sums();
+
+  // d(HW) = A_hat^T dP;  dW = H^T d(HW);  dH = d(HW) W^T;  dA = dP (HW)^T.
+  const Matrix grad_hw = matmul_transpose_a(cached_a_hat_, grad_pre);
+  weight_.grad += matmul_transpose_a(cached_h_, grad_hw);
+  if (grad_a_hat != nullptr) {
+    *grad_a_hat += matmul_transpose_b(grad_pre, cached_hw_);
+  }
+  return matmul_transpose_b(grad_hw, weight_.value);
+}
+
+}  // namespace cfgx

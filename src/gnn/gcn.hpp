@@ -1,0 +1,58 @@
+// Graph Convolutional Network layer (Kipf & Welling style), the building
+// block of the paper's embedding component Phi_e (three GCN layers with
+// ReLU activations, Section V-A).
+//
+// Forward: Z = ReLU(A_hat * H * W + b), with A_hat the normalized adjacency
+// from graph/ops.hpp.
+//
+// Two execution paths:
+//   * infer(...) const      — cache-free, safe to call concurrently
+//   * forward(...)/backward — cached training path; backward can also
+//     return dLoss/dA_hat, which GNNExplainer and PGExplainer need to
+//     optimize edge masks through the GNN.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+
+namespace cfgx {
+
+class GcnLayer {
+ public:
+  GcnLayer(std::size_t in_features, std::size_t out_features, Rng& rng,
+           std::string name = "gcn");
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+
+  // Cache-free inference.
+  Matrix infer(const Matrix& a_hat, const Matrix& h) const;
+
+  // Cached training forward.
+  Matrix forward(const Matrix& a_hat, const Matrix& h);
+
+  // Backward from dLoss/dZ. Accumulates dW, db; returns dLoss/dH.
+  // When grad_a_hat != nullptr, also accumulates dLoss/dA_hat into it
+  // (must be pre-sized [N, N]).
+  Matrix backward(const Matrix& grad_output, Matrix* grad_a_hat = nullptr);
+
+  std::vector<Parameter*> parameters() { return {&weight_, &bias_}; }
+  void zero_grad() {
+    weight_.zero_grad();
+    bias_.zero_grad();
+  }
+
+ private:
+  Parameter weight_;
+  Parameter bias_;
+  // Caches for backward.
+  Matrix cached_a_hat_;
+  Matrix cached_h_;
+  Matrix cached_hw_;             // H * W
+  Matrix cached_preactivation_;  // A_hat * H * W + b
+};
+
+}  // namespace cfgx

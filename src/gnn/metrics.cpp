@@ -1,0 +1,84 @@
+#include "gnn/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cfgx {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : counts_(num_classes, std::vector<std::size_t>(num_classes, 0)) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+  }
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  if (truth >= counts_.size() || predicted >= counts_.size()) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  ++counts_[truth][predicted];
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const {
+  return counts_.at(truth).at(predicted);
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t total = 0;
+  for (const auto& row : counts_) {
+    for (std::size_t c : row) total += c;
+  }
+  return total;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t all = total();
+  if (all == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t k = 0; k < counts_.size(); ++k) correct += counts_[k][k];
+  return static_cast<double>(correct) / static_cast<double>(all);
+}
+
+double ConfusionMatrix::class_accuracy(std::size_t truth) const {
+  const auto& row = counts_.at(truth);
+  std::size_t total = 0;
+  for (std::size_t c : row) total += c;
+  if (total == 0) return 0.0;
+  return static_cast<double>(row[truth]) / static_cast<double>(total);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream out;
+  for (std::size_t truth = 0; truth < counts_.size(); ++truth) {
+    if (truth < class_names.size()) {
+      out << class_names[truth] << ": ";
+    } else {
+      out << "class " << truth << ": ";
+    }
+    for (std::size_t pred = 0; pred < counts_.size(); ++pred) {
+      out << counts_[truth][pred] << (pred + 1 < counts_.size() ? " " : "");
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+double curve_auc(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("curve_auc: need >= 2 aligned points");
+  }
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] <= x[i - 1]) {
+      throw std::invalid_argument("curve_auc: x must be strictly increasing");
+    }
+  }
+  const double span = x.back() - x.front();
+  double auc = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    auc += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return auc / span;
+}
+
+}  // namespace cfgx

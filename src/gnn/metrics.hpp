@@ -1,0 +1,35 @@
+// Classification metrics: accuracy, per-class accuracy, confusion matrix,
+// and the AUC of an accuracy-vs-subgraph-size curve as defined by the
+// paper's Table III (graph size normalized to [0,1], trapezoidal rule).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cfgx {
+
+struct ConfusionMatrix {
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t truth, std::size_t predicted);
+
+  std::size_t num_classes() const { return counts_.size(); }
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+  std::size_t total() const;
+
+  double accuracy() const;
+  double class_accuracy(std::size_t truth) const;  // recall of one class
+
+  std::string to_string(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> counts_;
+};
+
+// Trapezoidal AUC over (x, y) pairs; x must be strictly increasing. The
+// x range is normalized to [0,1] so AUC lands in [0, max(y)] — with
+// accuracies in [0,1] this matches the paper's AUC in [0,1].
+double curve_auc(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace cfgx

@@ -1,0 +1,81 @@
+#include "graph/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cfgx {
+namespace {
+
+// DOT string literals need '"' and '\' escaped; newlines become left-aligned
+// line breaks.
+std::string escape_label(const std::string& raw, std::size_t max_length) {
+  std::string clipped = raw;
+  if (max_length > 0 && clipped.size() > max_length) {
+    clipped.resize(max_length);
+    clipped += "...";
+  }
+  std::string out;
+  out.reserve(clipped.size() + 8);
+  for (char c : clipped) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\l"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Acfg& graph, const DotOptions& options) {
+  std::vector<char> highlighted(graph.num_nodes(), 0);
+  for (std::uint32_t node : options.highlighted_nodes) {
+    if (node >= graph.num_nodes()) {
+      throw std::out_of_range("to_dot: highlighted node out of range");
+    }
+    highlighted[node] = 1;
+  }
+
+  std::ostringstream out;
+  out << "digraph " << options.graph_name << " {\n";
+  out << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+
+  for (std::uint32_t node = 0; node < graph.num_nodes(); ++node) {
+    const std::string label =
+        options.node_label ? options.node_label(node)
+                           : "B" + std::to_string(node);
+    out << "  n" << node << " [label=\""
+        << escape_label(label, options.max_label_length) << "\"";
+    if (highlighted[node]) {
+      out << ", style=filled, fillcolor=\"#ffd8a8\", penwidth=2";
+    }
+    out << "];\n";
+  }
+
+  for (const Edge& edge : graph.edges()) {
+    out << "  n" << edge.src << " -> n" << edge.dst;
+    if (options.style_call_edges && edge.kind == EdgeKind::Call) {
+      out << " [style=dashed, color=\"#1971c2\", label=\"call\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void write_dot_file(const std::string& path, const Acfg& graph,
+                    const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_dot_file: cannot open '" + path + "'");
+  }
+  out << to_dot(graph, options);
+  if (!out) {
+    throw std::runtime_error("write_dot_file: write failure on '" + path + "'");
+  }
+}
+
+}  // namespace cfgx

@@ -1,0 +1,37 @@
+// Graphviz DOT export of ACFGs, with optional highlighting of an
+// explanation subgraph and optional disassembly labels — the "zoom in on
+// the most important blocks ... in tandem with tools such as IDA-Pro"
+// workflow the paper's introduction motivates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/acfg.hpp"
+
+namespace cfgx {
+
+struct DotOptions {
+  // Nodes drawn filled/emphasized (an explainer's top-k% set).
+  std::vector<std::uint32_t> highlighted_nodes;
+  // Optional label provider (e.g. truncated disassembly from a LiftedCfg);
+  // when empty, nodes are labeled "B<id>".
+  std::function<std::string(std::uint32_t)> node_label;
+  // Truncate labels to this many characters (0 = no truncation).
+  std::size_t max_label_length = 60;
+  std::string graph_name = "acfg";
+  // Render call edges dashed with a distinct color.
+  bool style_call_edges = true;
+};
+
+// Renders the graph as a DOT digraph. Throws std::out_of_range when a
+// highlighted node id is outside the graph.
+std::string to_dot(const Acfg& graph, const DotOptions& options = {});
+
+// Convenience: write to a file; throws std::runtime_error on I/O failure.
+void write_dot_file(const std::string& path, const Acfg& graph,
+                    const DotOptions& options = {});
+
+}  // namespace cfgx

@@ -1,0 +1,152 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cfgx {
+
+Matrix normalized_adjacency(const Matrix& adjacency, const Matrix* features) {
+  std::vector<double> unused;
+  return normalized_adjacency(adjacency, unused, features);
+}
+
+Matrix normalized_adjacency(const Matrix& adjacency,
+                            std::vector<double>& inv_sqrt_degree_out,
+                            const Matrix* features) {
+  if (adjacency.rows() != adjacency.cols()) {
+    throw std::invalid_argument("normalized_adjacency: matrix must be square");
+  }
+  const std::size_t n = adjacency.rows();
+  if (features != nullptr && features->rows() != n) {
+    throw std::invalid_argument(
+        "normalized_adjacency: feature/adjacency row mismatch");
+  }
+
+  // S = A + A^T; a node is active (and gets a self-loop) when it has an
+  // incident edge or a non-zero feature row.
+  Matrix s(n, n);
+  std::vector<char> active(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = adjacency(i, j) + adjacency(j, i);
+      s(i, j) = v;
+      if (v != 0.0) {
+        active[i] = 1;
+        active[j] = 1;
+      }
+    }
+  }
+  if (features != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) continue;
+      for (std::size_t c = 0; c < features->cols(); ++c) {
+        if ((*features)(i, c) != 0.0) {
+          active[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) s(i, i) += 1.0;
+  }
+
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) degree += s(i, j);
+    if (degree > 0.0) inv_sqrt_degree[i] = 1.0 / std::sqrt(degree);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      s(i, j) *= inv_sqrt_degree[i] * inv_sqrt_degree[j];
+    }
+  }
+  inv_sqrt_degree_out = std::move(inv_sqrt_degree);
+  return s;
+}
+
+std::size_t count_active_nodes(const Matrix& adjacency, const Matrix& features) {
+  if (adjacency.rows() != adjacency.cols() ||
+      adjacency.rows() != features.rows()) {
+    throw std::invalid_argument("count_active_nodes: shape mismatch");
+  }
+  const std::size_t n = adjacency.rows();
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool is_active = false;
+    for (std::size_t j = 0; j < n && !is_active; ++j) {
+      if (adjacency(i, j) != 0.0 || adjacency(j, i) != 0.0) is_active = true;
+    }
+    for (std::size_t c = 0; c < features.cols() && !is_active; ++c) {
+      if (features(i, c) != 0.0) is_active = true;
+    }
+    if (is_active) ++active;
+  }
+  return active;
+}
+
+void mask_node(Matrix& adjacency, Matrix& features, std::uint32_t node) {
+  if (node >= adjacency.rows() || adjacency.rows() != adjacency.cols()) {
+    throw std::out_of_range("mask_node: node out of range");
+  }
+  if (features.rows() != adjacency.rows()) {
+    throw std::invalid_argument("mask_node: feature/adjacency row mismatch");
+  }
+  for (std::size_t j = 0; j < adjacency.cols(); ++j) {
+    adjacency(node, j) = 0.0;  // outgoing (Algorithm 2 line 17)
+    adjacency(j, node) = 0.0;  // incoming (Algorithm 2 line 18)
+  }
+  for (std::size_t c = 0; c < features.cols(); ++c) features(node, c) = 0.0;
+}
+
+MaskedGraph keep_only(const Matrix& adjacency, const Matrix& features,
+                      const std::vector<std::uint32_t>& kept) {
+  MaskedGraph out{adjacency, features};
+  std::vector<char> keep(adjacency.rows(), 0);
+  for (std::uint32_t node : kept) {
+    if (node >= adjacency.rows()) {
+      throw std::out_of_range("keep_only: node out of range");
+    }
+    keep[node] = 1;
+  }
+  for (std::uint32_t node = 0; node < adjacency.rows(); ++node) {
+    if (!keep[node]) mask_node(out.adjacency, out.features, node);
+  }
+  return out;
+}
+
+bool node_is_masked(const Matrix& adjacency, std::uint32_t node) {
+  for (std::size_t j = 0; j < adjacency.cols(); ++j) {
+    if (adjacency(node, j) != 0.0 || adjacency(j, node) != 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> top_k_nodes(const std::vector<double>& scores,
+                                       std::size_t k) {
+  if (k > scores.size()) throw std::invalid_argument("top_k_nodes: k > node count");
+  std::vector<std::uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return scores[a] > scores[b];
+                   });
+  order.resize(k);
+  return order;
+}
+
+std::size_t nodes_for_fraction(std::uint32_t num_nodes, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("nodes_for_fraction: fraction outside [0,1]");
+  }
+  if (num_nodes == 0) return 0;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(num_nodes)));
+  return std::clamp<std::size_t>(k, 1, num_nodes);
+}
+
+}  // namespace cfgx

@@ -1,0 +1,66 @@
+// Graph-matrix operations shared by the GNN and every explainer:
+// adjacency normalization, the node-masking semantics of the paper's
+// Algorithm 2, and subgraph extraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/acfg.hpp"
+#include "nn/matrix.hpp"
+
+namespace cfgx {
+
+// GCN propagation matrix: A_hat = D^{-1/2} (S + I) D^{-1/2} where
+// S = A + A^T symmetrizes the directed weighted adjacency (call edges keep
+// their weight 2) and D is the degree of (S + I).
+//
+// Self-loop policy ("pruned == padded", DESIGN.md decision 3): a node
+// receives its self-loop when it is *active* — it has an incident edge or,
+// when `features` is supplied, a non-zero feature row. A pruned or padded
+// node (zero adjacency row+column AND zero features) gets no self-loop and
+// contributes nothing; a surviving node whose neighbours were all pruned
+// keeps its self-loop, so its block features still reach the readout —
+// matching the paper's fixed-N padded GCN, where every real node carries a
+// self-loop even if the explainer disconnected it.
+Matrix normalized_adjacency(const Matrix& adjacency,
+                            const Matrix* features = nullptr);
+
+// As above, but also exports the per-node d^{-1/2} factors (zero for
+// inactive nodes). The classifier's adjacency-gradient chain needs them.
+Matrix normalized_adjacency(const Matrix& adjacency,
+                            std::vector<double>& inv_sqrt_degree,
+                            const Matrix* features = nullptr);
+
+// Number of *active* nodes under the self-loop policy above: nodes with an
+// incident edge or a non-zero feature row. Pruned and padded nodes are
+// inactive. The classifier's readout pools over this count.
+std::size_t count_active_nodes(const Matrix& adjacency, const Matrix& features);
+
+// Zeroes row + column `node` of the adjacency and the node's feature row
+// (Algorithm 2 lines 17-18, plus the feature zeroing of DESIGN decision 3).
+void mask_node(Matrix& adjacency, Matrix& features, std::uint32_t node);
+
+// Returns a copy of (A, X) with every node NOT in `kept` masked out.
+// Shapes are preserved (masked, not compacted), matching the paper's fixed
+// input-size evaluation of subgraphs.
+struct MaskedGraph {
+  Matrix adjacency;
+  Matrix features;
+};
+MaskedGraph keep_only(const Matrix& adjacency, const Matrix& features,
+                      const std::vector<std::uint32_t>& kept);
+
+// True when row `node` and column `node` of `adjacency` are entirely zero.
+bool node_is_masked(const Matrix& adjacency, std::uint32_t node);
+
+// Given node scores (higher = more important) over `num_nodes` real nodes,
+// returns the indices of the `k` top-scoring nodes (ties broken by lower
+// index for determinism).
+std::vector<std::uint32_t> top_k_nodes(const std::vector<double>& scores,
+                                       std::size_t k);
+
+// ceil(fraction * num_nodes), clamped to [1, num_nodes] for num_nodes > 0.
+std::size_t nodes_for_fraction(std::uint32_t num_nodes, double fraction);
+
+}  // namespace cfgx

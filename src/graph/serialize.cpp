@@ -1,0 +1,126 @@
+#include "graph/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace cfgx {
+namespace {
+
+constexpr char kGraphMagic[] = "CFGXG001";
+constexpr std::size_t kMagicLen = 8;
+constexpr std::uint32_t kMaxNodes = 1u << 22;
+constexpr std::uint64_t kMaxGraphs = 1u << 20;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw SerializationError("unexpected end of stream reading graph field");
+  return value;
+}
+
+}  // namespace
+
+void write_acfg(std::ostream& out, const Acfg& graph) {
+  write_pod<std::uint32_t>(out, graph.num_nodes());
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    write_pod<std::uint32_t>(out, e.src);
+    write_pod<std::uint32_t>(out, e.dst);
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+  }
+  write_matrix(out, graph.features());
+  write_pod<std::int32_t>(out, graph.label());
+  write_string(out, graph.family());
+  write_pod<std::uint32_t>(out,
+                           static_cast<std::uint32_t>(graph.planted_nodes().size()));
+  for (std::uint32_t node : graph.planted_nodes()) write_pod(out, node);
+}
+
+Acfg read_acfg(std::istream& in) {
+  const auto num_nodes = read_pod<std::uint32_t>(in);
+  if (num_nodes > kMaxNodes) {
+    throw SerializationError("graph node count implausibly large");
+  }
+  const auto num_edges = read_pod<std::uint32_t>(in);
+  if (num_edges > kMaxNodes * 8u) {
+    throw SerializationError("graph edge count implausibly large");
+  }
+
+  Acfg graph(num_nodes, kAcfgFeatureCount);
+  for (std::uint32_t i = 0; i < num_edges; ++i) {
+    const auto src = read_pod<std::uint32_t>(in);
+    const auto dst = read_pod<std::uint32_t>(in);
+    const auto kind = read_pod<std::uint8_t>(in);
+    if (kind != static_cast<std::uint8_t>(EdgeKind::Flow) &&
+        kind != static_cast<std::uint8_t>(EdgeKind::Call)) {
+      throw SerializationError("invalid edge kind in graph");
+    }
+    if (src >= num_nodes || dst >= num_nodes) {
+      throw SerializationError("edge endpoint out of range in graph");
+    }
+    graph.add_edge(src, dst, static_cast<EdgeKind>(kind));
+  }
+
+  Matrix features = read_matrix(in);
+  if (features.rows() != num_nodes) {
+    throw SerializationError("feature matrix row count != node count");
+  }
+  graph.features() = std::move(features);
+
+  graph.set_label(read_pod<std::int32_t>(in));
+  graph.set_family(read_string(in));
+
+  const auto plant_count = read_pod<std::uint32_t>(in);
+  if (plant_count > num_nodes) {
+    throw SerializationError("plant count exceeds node count");
+  }
+  for (std::uint32_t i = 0; i < plant_count; ++i) {
+    graph.mark_planted(read_pod<std::uint32_t>(in));
+  }
+  graph.validate();
+  return graph;
+}
+
+void write_acfg_collection(std::ostream& out, const std::vector<Acfg>& graphs) {
+  out.write(kGraphMagic, kMagicLen);
+  write_pod<std::uint64_t>(out, graphs.size());
+  for (const Acfg& graph : graphs) write_acfg(out, graph);
+  if (!out) throw SerializationError("write failure while saving graphs");
+}
+
+std::vector<Acfg> read_acfg_collection(std::istream& in) {
+  char magic[kMagicLen] = {};
+  in.read(magic, kMagicLen);
+  if (!in || std::string(magic, kMagicLen) != kGraphMagic) {
+    throw SerializationError("bad magic: not a CFGX graph archive");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count > kMaxGraphs) throw SerializationError("graph count implausibly large");
+  std::vector<Acfg> graphs;
+  graphs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) graphs.push_back(read_acfg(in));
+  return graphs;
+}
+
+void save_acfg_collection_file(const std::string& path,
+                               const std::vector<Acfg>& graphs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializationError("cannot open '" + path + "' for writing");
+  write_acfg_collection(out, graphs);
+}
+
+std::vector<Acfg> load_acfg_collection_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializationError("cannot open '" + path + "' for reading");
+  return read_acfg_collection(in);
+}
+
+}  // namespace cfgx

@@ -1,0 +1,32 @@
+// Binary (de)serialization for ACFGs and graph collections.
+//
+// Format:
+//   graph      := u32 num_nodes | u32 num_edges | edges | matrix features
+//                 | i32 label | string family | u32 plant_count | u32 plants
+//   edge       := u32 src | u32 dst | u8 kind
+//   collection := magic "CFGXG001" | u64 count | count * graph
+//
+// Reuses the primitive readers/writers of nn/serialize for strings and
+// matrices; throws SerializationError on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/acfg.hpp"
+#include "nn/serialize.hpp"
+
+namespace cfgx {
+
+void write_acfg(std::ostream& out, const Acfg& graph);
+Acfg read_acfg(std::istream& in);
+
+void write_acfg_collection(std::ostream& out, const std::vector<Acfg>& graphs);
+std::vector<Acfg> read_acfg_collection(std::istream& in);
+
+void save_acfg_collection_file(const std::string& path,
+                               const std::vector<Acfg>& graphs);
+std::vector<Acfg> load_acfg_collection_file(const std::string& path);
+
+}  // namespace cfgx

@@ -1,0 +1,79 @@
+#include "isa/features.hpp"
+
+namespace cfgx {
+
+const char* feature_name(AcfgFeature feature) noexcept {
+  switch (feature) {
+    case AcfgFeature::NumericConstants: return "#numeric constants";
+    case AcfgFeature::StringConstants: return "#string constants";
+    case AcfgFeature::TransferInstructions: return "#transfer instructions";
+    case AcfgFeature::CallInstructions: return "#call instructions";
+    case AcfgFeature::ArithmeticInstructions: return "#arithmetic instructions";
+    case AcfgFeature::CompareInstructions: return "#compare instructions";
+    case AcfgFeature::MovInstructions: return "#mov instructions";
+    case AcfgFeature::TerminationInstructions: return "#termination instructions";
+    case AcfgFeature::DataDeclInstructions: return "#data declaration instructions";
+    case AcfgFeature::TotalInstructions: return "#total instructions";
+    case AcfgFeature::Offspring: return "#offspring (degree)";
+    case AcfgFeature::InstructionsInVertex: return "#instructions in vertex";
+  }
+  return "?";
+}
+
+std::array<double, kAcfgFeatureCount> block_features(
+    std::span<const Instruction> instructions, std::uint32_t out_degree) {
+  std::array<double, kAcfgFeatureCount> features{};
+  const auto bump = [&](AcfgFeature f) {
+    features[static_cast<std::size_t>(f)] += 1.0;
+  };
+
+  for (const Instruction& instr : instructions) {
+    switch (instr.category()) {
+      case InstrCategory::Transfer: bump(AcfgFeature::TransferInstructions); break;
+      case InstrCategory::Call: bump(AcfgFeature::CallInstructions); break;
+      case InstrCategory::Arithmetic:
+        bump(AcfgFeature::ArithmeticInstructions);
+        break;
+      case InstrCategory::Compare: bump(AcfgFeature::CompareInstructions); break;
+      case InstrCategory::Mov: bump(AcfgFeature::MovInstructions); break;
+      case InstrCategory::Termination:
+        bump(AcfgFeature::TerminationInstructions);
+        break;
+      case InstrCategory::DataDecl: bump(AcfgFeature::DataDeclInstructions); break;
+      case InstrCategory::Other: break;
+    }
+    bump(AcfgFeature::TotalInstructions);
+    if (instr.category() != InstrCategory::DataDecl) {
+      bump(AcfgFeature::InstructionsInVertex);
+    }
+    for (const Operand& op : instr.operands) {
+      if (op.kind == Operand::Kind::Imm) bump(AcfgFeature::NumericConstants);
+      if (op.kind == Operand::Kind::StringLit) bump(AcfgFeature::StringConstants);
+    }
+  }
+  features[static_cast<std::size_t>(AcfgFeature::Offspring)] =
+      static_cast<double>(out_degree);
+  return features;
+}
+
+Acfg to_acfg(const LiftedCfg& cfg, int label, std::string family) {
+  Acfg graph(cfg.block_count(), kAcfgFeatureCount);
+  graph.set_label(label);
+  graph.set_family(std::move(family));
+
+  for (const CfgEdge& edge : cfg.edges()) {
+    graph.add_edge(edge.src, edge.dst, edge.kind);
+  }
+
+  const auto degrees = graph.out_degrees();
+  for (std::uint32_t b = 0; b < cfg.block_count(); ++b) {
+    const auto feats = block_features(cfg.block_instructions(b), degrees[b]);
+    for (std::size_t f = 0; f < kAcfgFeatureCount; ++f) {
+      graph.features()(b, f) = feats[f];
+    }
+  }
+  graph.validate();
+  return graph;
+}
+
+}  // namespace cfgx

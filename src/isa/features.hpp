@@ -1,0 +1,47 @@
+// Table-I block feature extraction: LiftedCfg -> Acfg.
+//
+// The 12 features per basic block (paper Section II-A, Table I):
+//   from the code sequence — #numeric constants, #string constants,
+//   #transfer, #call, #arithmetic, #compare, #mov, #termination,
+//   #data declaration, #total instructions;
+//   from the node structure — #offspring (out-degree), #instructions in
+//   the vertex (executable, i.e. non-data-declaration, instructions).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "graph/acfg.hpp"
+#include "isa/lifter.hpp"
+
+namespace cfgx {
+
+// Feature indices into the 12-dim vector; order mirrors Table I.
+enum class AcfgFeature : std::size_t {
+  NumericConstants = 0,
+  StringConstants = 1,
+  TransferInstructions = 2,
+  CallInstructions = 3,
+  ArithmeticInstructions = 4,
+  CompareInstructions = 5,
+  MovInstructions = 6,
+  TerminationInstructions = 7,
+  DataDeclInstructions = 8,
+  TotalInstructions = 9,
+  Offspring = 10,
+  InstructionsInVertex = 11,
+};
+
+const char* feature_name(AcfgFeature feature) noexcept;
+
+// Features of one block given its instructions and its out-degree.
+std::array<double, kAcfgFeatureCount> block_features(
+    std::span<const Instruction> instructions, std::uint32_t out_degree);
+
+// Builds the full ACFG: nodes = blocks, Table-I attributes, weighted edges.
+// `label`/`family` annotate the resulting graph.
+Acfg to_acfg(const LiftedCfg& cfg, int label = -1, std::string family = {});
+
+}  // namespace cfgx

@@ -1,0 +1,187 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace cfgx {
+
+const char* to_string(Register reg) noexcept {
+  switch (reg) {
+    case Register::Eax: return "eax";
+    case Register::Ebx: return "ebx";
+    case Register::Ecx: return "ecx";
+    case Register::Edx: return "edx";
+    case Register::Esi: return "esi";
+    case Register::Edi: return "edi";
+    case Register::Ebp: return "ebp";
+    case Register::Esp: return "esp";
+    case Register::Al: return "al";
+    case Register::Ah: return "ah";
+    case Register::Bl: return "bl";
+    case Register::Cl: return "cl";
+    case Register::Dl: return "dl";
+  }
+  return "?";
+}
+
+const char* to_string(Opcode opcode) noexcept {
+  switch (opcode) {
+    case Opcode::Mov: return "mov";
+    case Opcode::Movzx: return "movzx";
+    case Opcode::Lea: return "lea";
+    case Opcode::Xchg: return "xchg";
+    case Opcode::Push: return "push";
+    case Opcode::Pop: return "pop";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Imul: return "imul";
+    case Opcode::Idiv: return "idiv";
+    case Opcode::Inc: return "inc";
+    case Opcode::Dec: return "dec";
+    case Opcode::Neg: return "neg";
+    case Opcode::Not: return "not";
+    case Opcode::Xor: return "xor";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Cmp: return "cmp";
+    case Opcode::Test: return "test";
+    case Opcode::Jmp: return "jmp";
+    case Opcode::Je: return "je";
+    case Opcode::Jne: return "jne";
+    case Opcode::Jg: return "jg";
+    case Opcode::Jl: return "jl";
+    case Opcode::Jge: return "jge";
+    case Opcode::Jle: return "jle";
+    case Opcode::Jz: return "jz";
+    case Opcode::Jnz: return "jnz";
+    case Opcode::Loop: return "loop";
+    case Opcode::Call: return "call";
+    case Opcode::Ret: return "ret";
+    case Opcode::Hlt: return "hlt";
+    case Opcode::Int3: return "int3";
+    case Opcode::Nop: return "nop";
+    case Opcode::Db: return "db";
+    case Opcode::Dw: return "dw";
+    case Opcode::Dd: return "dd";
+  }
+  return "?";
+}
+
+InstrCategory category_of(Opcode opcode) noexcept {
+  switch (opcode) {
+    case Opcode::Mov:
+    case Opcode::Movzx:
+    case Opcode::Lea:
+    case Opcode::Xchg:
+    case Opcode::Push:
+    case Opcode::Pop:
+      return InstrCategory::Mov;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Imul:
+    case Opcode::Idiv:
+    case Opcode::Inc:
+    case Opcode::Dec:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::Xor:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      return InstrCategory::Arithmetic;
+    case Opcode::Cmp:
+    case Opcode::Test:
+      return InstrCategory::Compare;
+    case Opcode::Jmp:
+    case Opcode::Je:
+    case Opcode::Jne:
+    case Opcode::Jg:
+    case Opcode::Jl:
+    case Opcode::Jge:
+    case Opcode::Jle:
+    case Opcode::Jz:
+    case Opcode::Jnz:
+    case Opcode::Loop:
+      return InstrCategory::Transfer;
+    case Opcode::Call:
+      return InstrCategory::Call;
+    case Opcode::Ret:
+    case Opcode::Hlt:
+    case Opcode::Int3:
+      return InstrCategory::Termination;
+    case Opcode::Db:
+    case Opcode::Dw:
+    case Opcode::Dd:
+      return InstrCategory::DataDecl;
+    case Opcode::Nop:
+      return InstrCategory::Other;
+  }
+  return InstrCategory::Other;
+}
+
+std::string Operand::to_string() const {
+  switch (kind) {
+    case Kind::Reg: return cfgx::to_string(reg);
+    case Kind::Imm: {
+      std::ostringstream out;
+      if (imm >= 0 && imm <= 9) {
+        out << imm;
+      } else {
+        out << std::hex << std::uppercase << imm << "h";
+      }
+      return out.str();
+    }
+    case Kind::Mem: return "[" + text + "]";
+    case Kind::Sym: return text;
+    case Kind::StringLit: return "\"" + text + "\"";
+    case Kind::Label: return text;
+  }
+  return "?";
+}
+
+const Operand* Instruction::label_target() const noexcept {
+  if (!is_jump() && !is_call()) return nullptr;
+  for (const Operand& op : operands) {
+    if (op.kind == Operand::Kind::Label) return &op;
+  }
+  return nullptr;
+}
+
+bool register_aliases(Register sub, Register full) noexcept {
+  if (sub == full) return true;
+  switch (sub) {
+    case Register::Al:
+    case Register::Ah:
+      return full == Register::Eax;
+    case Register::Bl:
+      return full == Register::Ebx;
+    case Register::Cl:
+      return full == Register::Ecx;
+    case Register::Dl:
+      return full == Register::Edx;
+    default:
+      return false;
+  }
+}
+
+bool Instruction::touches_register(Register reg) const noexcept {
+  for (const Operand& op : operands) {
+    if (op.kind == Operand::Kind::Reg && register_aliases(op.reg, reg)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Instruction::to_string() const {
+  std::string out = cfgx::to_string(opcode);
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    out += (i == 0 ? " " : ", ");
+    out += operands[i].to_string();
+  }
+  return out;
+}
+
+}  // namespace cfgx

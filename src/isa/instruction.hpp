@@ -1,0 +1,155 @@
+// Mini x86-like instruction model.
+//
+// The YANCFG corpus used by the paper consists of real Windows binaries
+// disassembled by IDA Pro. Binaries cannot be redistributed, so this module
+// models the slice of x86 that the paper's pipeline actually consumes:
+// enough instruction categories to compute every Table-I block feature and
+// enough operand structure to express every Table-V malware pattern
+// (XOR obfuscation, semantic NOPs, call-result manipulation, Windows API
+// call chains).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfgx {
+
+enum class Register : std::uint8_t {
+  Eax, Ebx, Ecx, Edx, Esi, Edi, Ebp, Esp,
+  Al, Ah, Bl, Cl, Dl,
+};
+
+const char* to_string(Register reg) noexcept;
+
+enum class Opcode : std::uint8_t {
+  // data movement
+  Mov, Movzx, Lea, Xchg, Push, Pop,
+  // arithmetic / logic
+  Add, Sub, Imul, Idiv, Inc, Dec, Neg, Not, Xor, And, Or, Shl, Shr,
+  // comparison
+  Cmp, Test,
+  // control transfer
+  Jmp, Je, Jne, Jg, Jl, Jge, Jle, Jz, Jnz, Loop,
+  // calls
+  Call,
+  // termination
+  Ret, Hlt, Int3,
+  // misc
+  Nop,
+  // pseudo: data declarations emitted by the disassembler
+  Db, Dw, Dd,
+};
+
+const char* to_string(Opcode opcode) noexcept;
+
+// Table-I instruction categories.
+enum class InstrCategory : std::uint8_t {
+  Mov,           // mov/movzx/lea/xchg/push/pop
+  Arithmetic,    // add..shr
+  Compare,       // cmp/test
+  Transfer,      // jmp/jcc/loop (control transfer)
+  Call,          // call
+  Termination,   // ret/hlt/int3
+  DataDecl,      // db/dw/dd
+  Other,         // nop
+};
+
+InstrCategory category_of(Opcode opcode) noexcept;
+
+struct Operand {
+  enum class Kind : std::uint8_t {
+    Reg,        // a general-purpose register
+    Imm,        // numeric constant
+    Mem,        // memory reference, rendered as the text field
+    Sym,        // external symbol (Windows API name, e.g. "ds:Sleep")
+    StringLit,  // string constant
+    Label,      // internal code label (jump/call target)
+  };
+
+  Kind kind = Kind::Imm;
+  Register reg = Register::Eax;  // valid when kind == Reg
+  std::int64_t imm = 0;          // valid when kind == Imm
+  std::string text;              // valid for Mem / Sym / StringLit / Label
+
+  static Operand make_reg(Register r) {
+    Operand op;
+    op.kind = Kind::Reg;
+    op.reg = r;
+    return op;
+  }
+  static Operand make_imm(std::int64_t value) {
+    Operand op;
+    op.kind = Kind::Imm;
+    op.imm = value;
+    return op;
+  }
+  static Operand make_mem(std::string expr) {
+    Operand op;
+    op.kind = Kind::Mem;
+    op.text = std::move(expr);
+    return op;
+  }
+  static Operand make_sym(std::string name) {
+    Operand op;
+    op.kind = Kind::Sym;
+    op.text = std::move(name);
+    return op;
+  }
+  static Operand make_string(std::string value) {
+    Operand op;
+    op.kind = Kind::StringLit;
+    op.text = std::move(value);
+    return op;
+  }
+  static Operand make_label(std::string name) {
+    Operand op;
+    op.kind = Kind::Label;
+    op.text = std::move(name);
+    return op;
+  }
+
+  std::string to_string() const;
+  bool operator==(const Operand&) const = default;
+};
+
+struct Instruction {
+  Opcode opcode = Opcode::Nop;
+  std::vector<Operand> operands;
+
+  Instruction() = default;
+  explicit Instruction(Opcode op) : opcode(op) {}
+  Instruction(Opcode op, Operand a) : opcode(op), operands{std::move(a)} {}
+  Instruction(Opcode op, Operand a, Operand b)
+      : opcode(op), operands{std::move(a), std::move(b)} {}
+
+  InstrCategory category() const noexcept { return category_of(opcode); }
+
+  // True for unconditional control transfer (jmp) — no fall-through.
+  bool is_unconditional_jump() const noexcept { return opcode == Opcode::Jmp; }
+  // True for any jump (conditional or not).
+  bool is_jump() const noexcept { return category() == InstrCategory::Transfer; }
+  bool is_call() const noexcept { return opcode == Opcode::Call; }
+  bool is_terminator() const noexcept {
+    return category() == InstrCategory::Termination;
+  }
+
+  // The Label operand of a jump/call, or nullptr when the target is not an
+  // internal label (e.g. an external API symbol).
+  const Operand* label_target() const noexcept;
+
+  // True when any operand reads or writes `reg` (sub-registers of EAX
+  // count as EAX for the pattern detectors: al/ah alias eax).
+  bool touches_register(Register reg) const noexcept;
+
+  // IDA-like rendering, e.g. "mov eax, [ebp+var_18]" or "call ds:Sleep".
+  std::string to_string() const;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// True when `sub` is the same register as `full` or one of its 8-bit
+// aliases (al/ah alias eax; bl aliases ebx; cl ecx; dl edx).
+bool register_aliases(Register sub, Register full) noexcept;
+
+}  // namespace cfgx

@@ -1,0 +1,82 @@
+// CFG lifter: instruction stream -> basic blocks -> control flow graph.
+//
+// Mirrors the IDA-Pro pipeline stage the paper relies on:
+//   1. leader analysis (entry, jump/call targets, post-transfer sites)
+//   2. basic-block formation
+//   3. edge construction with the paper's weights: fall-through and jump
+//      edges are Flow (weight 1), call edges are Call (weight 2).
+//
+// Conventions:
+//   * An internal `call label` ends its block and produces a Call edge to
+//     the callee plus a Flow edge to the return site (the next block).
+//   * An external `call ds:SomeApi` (symbol operand) does NOT end the block
+//     — the callee is outside the binary, exactly as a disassembler sees it.
+//   * ret / hlt / int3 terminate with no successors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/acfg.hpp"
+#include "isa/program.hpp"
+
+namespace cfgx {
+
+struct BasicBlock {
+  std::uint32_t id = 0;
+  std::size_t first = 0;  // index of the first instruction (inclusive)
+  std::size_t last = 0;   // index one past the final instruction (exclusive)
+
+  std::size_t size() const noexcept { return last - first; }
+  bool operator==(const BasicBlock&) const = default;
+};
+
+struct CfgEdge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  EdgeKind kind = EdgeKind::Flow;
+  bool operator==(const CfgEdge&) const = default;
+};
+
+// The lifted control flow graph, retaining a view into the program so block
+// instructions remain inspectable (pattern detectors, Table V reports).
+class LiftedCfg {
+ public:
+  LiftedCfg(const Program& program, std::vector<BasicBlock> blocks,
+            std::vector<CfgEdge> edges);
+
+  const Program& program() const noexcept { return *program_; }
+  const std::vector<BasicBlock>& blocks() const noexcept { return blocks_; }
+  const std::vector<CfgEdge>& edges() const noexcept { return edges_; }
+
+  std::uint32_t block_count() const noexcept {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+
+  // Instructions of one block.
+  std::span<const Instruction> block_instructions(std::uint32_t block_id) const;
+
+  // Block containing instruction `index`; throws when out of range.
+  std::uint32_t block_of_instruction(std::size_t index) const;
+
+  // Disassembly listing of one block ("loc_3: mov eax, 1; ...").
+  std::string block_to_string(std::uint32_t block_id) const;
+
+ private:
+  const Program* program_;  // non-owning; the caller keeps the Program alive
+  std::vector<BasicBlock> blocks_;
+  std::vector<CfgEdge> edges_;
+  std::vector<std::uint32_t> instr_to_block_;
+};
+
+// Performs leader analysis + block formation + edge construction.
+// Throws std::invalid_argument for an empty program.
+// The LiftedCfg borrows `program`, so the rvalue overload is deleted:
+// callers must keep the Program alive for the LiftedCfg's lifetime.
+LiftedCfg lift_program(const Program& program);
+LiftedCfg lift_program(Program&& program) = delete;
+
+}  // namespace cfgx

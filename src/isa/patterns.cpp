@@ -1,0 +1,187 @@
+#include "isa/patterns.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cfgx {
+namespace {
+
+bool is_semantic_nop(const Instruction& instr) {
+  if (instr.opcode == Opcode::Nop) return true;
+  // One-byte aliases: "mov r, r" and "xchg r, r" with identical registers.
+  if ((instr.opcode == Opcode::Mov || instr.opcode == Opcode::Xchg) &&
+      instr.operands.size() == 2 &&
+      instr.operands[0].kind == Operand::Kind::Reg &&
+      instr.operands[1].kind == Operand::Kind::Reg &&
+      instr.operands[0].reg == instr.operands[1].reg) {
+    return true;
+  }
+  return false;
+}
+
+bool is_xor_obfuscation(const Instruction& instr) {
+  if (instr.opcode != Opcode::Xor || instr.operands.size() != 2) return false;
+  const Operand& a = instr.operands[0];
+  const Operand& b = instr.operands[1];
+  // xor r, r with the SAME register is the common zeroing idiom — benign.
+  if (a.kind == Operand::Kind::Reg && b.kind == Operand::Kind::Reg) {
+    return a.reg != b.reg;
+  }
+  // xor <reg or mem>, imm with a non-zero key.
+  if (b.kind == Operand::Kind::Imm) return b.imm != 0;
+  // xor involving a memory operand and a register (decoder loops).
+  return a.kind == Operand::Kind::Mem || b.kind == Operand::Kind::Mem;
+}
+
+bool is_external_call(const Instruction& instr) {
+  if (!instr.is_call()) return false;
+  return std::any_of(instr.operands.begin(), instr.operands.end(),
+                     [](const Operand& op) {
+                       return op.kind == Operand::Kind::Sym;
+                     });
+}
+
+std::string external_call_name(const Instruction& instr) {
+  for (const Operand& op : instr.operands) {
+    if (op.kind == Operand::Kind::Sym) return op.text;
+  }
+  return {};
+}
+
+// Strips "ds:" and the IDA thunk prefix "j_".
+std::string canonical_api(std::string name) {
+  if (name.rfind("ds:", 0) == 0) name.erase(0, 3);
+  if (name.rfind("j_", 0) == 0) name.erase(0, 2);
+  return name;
+}
+
+bool contains_token(const std::string& name, const char* token) {
+  return name.find(token) != std::string::npos;
+}
+
+}  // namespace
+
+const char* to_string(MalwarePattern pattern) noexcept {
+  switch (pattern) {
+    case MalwarePattern::CodeManipulation: return "Code manipulation";
+    case MalwarePattern::XorObfuscation: return "XOR obfuscation";
+    case MalwarePattern::SemanticNop: return "Semantic-NOP obfuscation";
+    case MalwarePattern::ApiCall: return "Windows API call";
+  }
+  return "?";
+}
+
+const char* to_string(ApiBehavior behavior) noexcept {
+  switch (behavior) {
+    case ApiBehavior::ThreadCreation: return "thread creation";
+    case ApiBehavior::ProcessCreation: return "process creation";
+    case ApiBehavior::FileIo: return "file I/O";
+    case ApiBehavior::Network: return "network";
+    case ApiBehavior::Registry: return "registry";
+    case ApiBehavior::Timing: return "timing/delay";
+    case ApiBehavior::Pipe: return "pipe";
+    case ApiBehavior::LibraryLoading: return "library loading";
+    case ApiBehavior::Memory: return "memory";
+    case ApiBehavior::Crypto: return "crypto";
+    case ApiBehavior::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+ApiBehavior classify_api(const std::string& api_name) {
+  const std::string name = canonical_api(api_name);
+  if (contains_token(name, "CreateThread") || contains_token(name, "CreateRemoteThread")) {
+    return ApiBehavior::ThreadCreation;
+  }
+  if (contains_token(name, "CreateProcess") || contains_token(name, "WinExec") ||
+      contains_token(name, "ShellExecute")) {
+    return ApiBehavior::ProcessCreation;
+  }
+  if (contains_token(name, "ReadFile") || contains_token(name, "WriteFile") ||
+      contains_token(name, "CreateFile") || contains_token(name, "DeleteFile") ||
+      contains_token(name, "CopyFile")) {
+    return ApiBehavior::FileIo;
+  }
+  if (contains_token(name, "send") || contains_token(name, "recv") ||
+      contains_token(name, "socket") || contains_token(name, "connect") ||
+      contains_token(name, "WSAStartup") || contains_token(name, "gethostbyname") ||
+      contains_token(name, "InternetOpen") || contains_token(name, "HttpSendRequest")) {
+    return ApiBehavior::Network;
+  }
+  if (contains_token(name, "RegOpenKey") || contains_token(name, "RegSetValue") ||
+      contains_token(name, "RegQueryValue") || contains_token(name, "RegCreateKey")) {
+    return ApiBehavior::Registry;
+  }
+  if (contains_token(name, "Sleep") || contains_token(name, "QueryPerformanceCounter") ||
+      contains_token(name, "GetTickCount")) {
+    return ApiBehavior::Timing;
+  }
+  if (contains_token(name, "CreatePipe") || contains_token(name, "PeekNamedPipe")) {
+    return ApiBehavior::Pipe;
+  }
+  if (contains_token(name, "LoadLibrary") || contains_token(name, "GetProcAddress") ||
+      contains_token(name, "GetModuleFileName") || contains_token(name, "GetModuleHandle")) {
+    return ApiBehavior::LibraryLoading;
+  }
+  if (contains_token(name, "VirtualAlloc") || contains_token(name, "VirtualProtect") ||
+      contains_token(name, "HeapAlloc") || contains_token(name, "WriteProcessMemory")) {
+    return ApiBehavior::Memory;
+  }
+  if (contains_token(name, "Crypt") || contains_token(name, "Hash")) {
+    return ApiBehavior::Crypto;
+  }
+  return ApiBehavior::Unknown;
+}
+
+std::vector<PatternHit> detect_patterns(std::span<const Instruction> block) {
+  std::vector<PatternHit> hits;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const Instruction& instr = block[i];
+
+    if (is_xor_obfuscation(instr)) {
+      hits.push_back(PatternHit{MalwarePattern::XorObfuscation, i,
+                                instr.to_string() + ";", {}});
+    }
+    if (is_semantic_nop(instr)) {
+      hits.push_back(PatternHit{MalwarePattern::SemanticNop, i,
+                                instr.to_string() + ";", {}});
+    }
+    if (instr.is_call()) {
+      if (is_external_call(instr)) {
+        hits.push_back(PatternHit{MalwarePattern::ApiCall, i,
+                                  instr.to_string() + ";",
+                                  canonical_api(external_call_name(instr))});
+      }
+      // Code manipulation: the very next instruction touches EAX (or an
+      // alias), i.e. the malware consumes or clobbers the return value.
+      if (i + 1 < block.size() &&
+          block[i + 1].touches_register(Register::Eax)) {
+        hits.push_back(PatternHit{
+            MalwarePattern::CodeManipulation, i,
+            instr.to_string() + "; " + block[i + 1].to_string() + ";", {}});
+      }
+    }
+  }
+  return hits;
+}
+
+PatternReport analyze_blocks(const LiftedCfg& cfg,
+                             std::span<const std::uint32_t> block_ids) {
+  PatternReport report;
+  for (std::uint32_t block_id : block_ids) {
+    ++report.blocks_analyzed;
+    for (const PatternHit& hit : detect_patterns(cfg.block_instructions(block_id))) {
+      ++report.pattern_counts[hit.pattern];
+      report.examples.emplace(hit.pattern, hit.excerpt);
+      if (hit.pattern == MalwarePattern::ApiCall) {
+        auto& names = report.apis_by_behavior[classify_api(hit.api_name)];
+        if (std::find(names.begin(), names.end(), hit.api_name) == names.end()) {
+          names.push_back(hit.api_name);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cfgx

@@ -1,0 +1,69 @@
+// Table-V malware pattern detectors.
+//
+// The paper's qualitative evaluation (Section V-D) inspects the top-20%
+// subgraphs for: code manipulation (an instruction right after a call that
+// touches the EAX return value), XOR obfuscation (xor of two distinct
+// registers or register-with-constant), semantic-NOP obfuscation (nop and
+// one-byte aliases like "mov edx, edx"), and Windows API / DLL usage
+// (macro-level behaviour). These detectors automate that inspection over
+// our mini-ISA so the Table-V bench can report the same categories.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/lifter.hpp"
+
+namespace cfgx {
+
+enum class MalwarePattern : std::uint8_t {
+  CodeManipulation,   // call; <instr touching eax>
+  XorObfuscation,     // xor r1, r2 (r1 != r2) or xor r, imm (imm != 0)
+  SemanticNop,        // nop / mov r,r / xchg r,r
+  ApiCall,            // call to an external Windows API symbol
+};
+
+const char* to_string(MalwarePattern pattern) noexcept;
+
+struct PatternHit {
+  MalwarePattern pattern = MalwarePattern::SemanticNop;
+  std::size_t instruction_index = 0;  // offset within the analyzed block
+  std::string excerpt;                // e.g. "call ds:Sleep; mov eax, [ebp+var_18];"
+  std::string api_name;               // set for ApiCall hits
+};
+
+// Scans one basic block's instructions.
+std::vector<PatternHit> detect_patterns(std::span<const Instruction> block);
+
+// Windows API behaviour classification for macro-level analysis (paper
+// Section V-D "Macro-level analysis").
+enum class ApiBehavior : std::uint8_t {
+  ThreadCreation, ProcessCreation, FileIo, Network, Registry, Timing,
+  Pipe, LibraryLoading, Memory, Crypto, Unknown,
+};
+
+const char* to_string(ApiBehavior behavior) noexcept;
+
+// Classifies an API symbol name (handles the "ds:" prefix and the "j_"
+// thunk prefix IDA emits, e.g. "ds:Sleep", "j_SleepEx").
+ApiBehavior classify_api(const std::string& api_name);
+
+// Aggregated report over a node subset of a lifted CFG (typically the
+// explainer's top-k% blocks).
+struct PatternReport {
+  // pattern -> number of hits across the analyzed blocks
+  std::map<MalwarePattern, std::size_t> pattern_counts;
+  // behaviour -> distinct API names observed
+  std::map<ApiBehavior, std::vector<std::string>> apis_by_behavior;
+  // one representative excerpt per observed pattern
+  std::map<MalwarePattern, std::string> examples;
+  std::size_t blocks_analyzed = 0;
+};
+
+PatternReport analyze_blocks(const LiftedCfg& cfg,
+                             std::span<const std::uint32_t> block_ids);
+
+}  // namespace cfgx

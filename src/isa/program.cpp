@@ -1,0 +1,70 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cfgx {
+
+Program::Program(std::vector<Instruction> instructions,
+                 std::map<std::string, std::size_t> labels)
+    : instructions_(std::move(instructions)), labels_(std::move(labels)) {
+  validate();
+}
+
+std::optional<std::size_t> Program::label_index(const std::string& label) const {
+  const auto it = labels_.find(label);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Program::validate() const {
+  for (const auto& [name, index] : labels_) {
+    if (index > instructions_.size()) {
+      throw std::logic_error("Program: label '" + name + "' past end of stream");
+    }
+  }
+  for (const Instruction& instr : instructions_) {
+    if (const Operand* target = instr.label_target()) {
+      if (labels_.find(target->text) == labels_.end()) {
+        throw std::logic_error("Program: undefined label '" + target->text + "'");
+      }
+    }
+  }
+}
+
+std::string Program::to_string() const {
+  // Invert the label table for annotation.
+  std::map<std::size_t, std::vector<std::string>> by_index;
+  for (const auto& [name, index] : labels_) by_index[index].push_back(name);
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    const auto it = by_index.find(i);
+    if (it != by_index.end()) {
+      for (const std::string& name : it->second) out << name << ":\n";
+    }
+    out << "    " << instructions_[i].to_string() << '\n';
+  }
+  return out.str();
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, instructions_.size()).second) {
+    throw std::invalid_argument("ProgramBuilder: label '" + name + "' redefined");
+  }
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit(Instruction instruction) {
+  instructions_.push_back(std::move(instruction));
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  Program program(std::move(instructions_), std::move(labels_));
+  instructions_ = {};
+  labels_ = {};
+  return program;
+}
+
+}  // namespace cfgx

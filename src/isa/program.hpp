@@ -1,0 +1,87 @@
+// A Program is the synthetic stand-in for a disassembled binary: a linear
+// instruction stream plus a label table (label -> instruction index).
+// The ProgramBuilder offers the emission API used by the per-family corpus
+// generators in src/dataset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace cfgx {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Instruction> instructions,
+          std::map<std::string, std::size_t> labels);
+
+  const std::vector<Instruction>& instructions() const noexcept {
+    return instructions_;
+  }
+  std::size_t size() const noexcept { return instructions_.size(); }
+  bool empty() const noexcept { return instructions_.empty(); }
+
+  const std::map<std::string, std::size_t>& labels() const noexcept {
+    return labels_;
+  }
+
+  // Instruction index of a label; nullopt when undefined.
+  std::optional<std::size_t> label_index(const std::string& label) const;
+
+  // Throws std::logic_error when a jump/call targets an undefined label or
+  // a label points past the end of the stream.
+  void validate() const;
+
+  // Full listing with label annotations (debugging / examples).
+  std::string to_string() const;
+
+ private:
+  std::vector<Instruction> instructions_;
+  std::map<std::string, std::size_t> labels_;
+};
+
+class ProgramBuilder {
+ public:
+  // Defines `label` at the next instruction index. Redefinition throws.
+  ProgramBuilder& label(const std::string& name);
+
+  ProgramBuilder& emit(Instruction instruction);
+  ProgramBuilder& emit(Opcode opcode) { return emit(Instruction{opcode}); }
+  ProgramBuilder& emit(Opcode opcode, Operand a) {
+    return emit(Instruction{opcode, std::move(a)});
+  }
+  ProgramBuilder& emit(Opcode opcode, Operand a, Operand b) {
+    return emit(Instruction{opcode, std::move(a), std::move(b)});
+  }
+
+  // Common idioms used by the generators.
+  ProgramBuilder& jmp(const std::string& target) {
+    return emit(Opcode::Jmp, Operand::make_label(target));
+  }
+  ProgramBuilder& jcc(Opcode cc, const std::string& target) {
+    return emit(cc, Operand::make_label(target));
+  }
+  ProgramBuilder& call_label(const std::string& target) {
+    return emit(Opcode::Call, Operand::make_label(target));
+  }
+  ProgramBuilder& call_api(const std::string& api_name) {
+    return emit(Opcode::Call, Operand::make_sym(api_name));
+  }
+  ProgramBuilder& ret() { return emit(Opcode::Ret); }
+
+  std::size_t next_index() const noexcept { return instructions_.size(); }
+
+  // Finalizes; the builder is left empty. Validates label integrity.
+  Program build();
+
+ private:
+  std::vector<Instruction> instructions_;
+  std::map<std::string, std::size_t> labels_;
+};
+
+}  // namespace cfgx

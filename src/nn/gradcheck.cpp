@@ -1,0 +1,71 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfgx {
+namespace {
+
+double scalarize(const Matrix& output, const Matrix& weights) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    acc += output.data()[i] * weights.data()[i];
+  }
+  return acc;
+}
+
+void fold(GradCheckResult& result, double analytic, double numeric) {
+  const double abs_err = std::abs(analytic - numeric);
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-8});
+  result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+}
+
+}  // namespace
+
+GradCheckResult check_gradient_against(Matrix& subject, const Matrix& analytic,
+                                       const std::function<double()>& loss_of,
+                                       double eps) {
+  GradCheckResult result;
+  for (std::size_t i = 0; i < subject.size(); ++i) {
+    const double saved = subject.data()[i];
+    subject.data()[i] = saved + eps;
+    const double plus = loss_of();
+    subject.data()[i] = saved - eps;
+    const double minus = loss_of();
+    subject.data()[i] = saved;
+    fold(result, analytic.data()[i], (plus - minus) / (2.0 * eps));
+  }
+  return result;
+}
+
+GradCheckResult check_input_gradient(Module& module, const Matrix& input,
+                                     const Matrix& weights, double eps) {
+  Matrix x = input;
+  module.zero_grad();
+  const Matrix output = module.forward(x);
+  const Matrix analytic = module.backward(weights);
+  (void)output;
+  return check_gradient_against(
+      x, analytic, [&] { return scalarize(module.forward(x), weights); }, eps);
+}
+
+GradCheckResult check_parameter_gradients(Module& module, const Matrix& input,
+                                          const Matrix& weights, double eps) {
+  module.zero_grad();
+  module.forward(input);
+  module.backward(weights);
+
+  GradCheckResult worst;
+  for (Parameter* param : module.parameters()) {
+    const Matrix analytic = param->grad;
+    const GradCheckResult r = check_gradient_against(
+        param->value, analytic,
+        [&] { return scalarize(module.forward(input), weights); }, eps);
+    worst.max_abs_error = std::max(worst.max_abs_error, r.max_abs_error);
+    worst.max_rel_error = std::max(worst.max_rel_error, r.max_rel_error);
+  }
+  return worst;
+}
+
+}  // namespace cfgx

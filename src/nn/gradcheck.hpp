@@ -1,0 +1,39 @@
+// Numerical gradient checking against central finite differences.
+//
+// Lives in the library (not in tests/) because the ablation benches also
+// use it to certify the analytic gradients of the exact configurations
+// they time.
+#pragma once
+
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+
+namespace cfgx {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;   // max |analytic - numeric|
+  double max_rel_error = 0.0;   // max |a-n| / max(|a|,|n|,1e-8)
+  bool passed(double tol = 1e-5) const { return max_rel_error <= tol; }
+};
+
+// Checks dLoss/dInput of `module` for scalar loss = sum(weights .* output).
+// `weights` fixes an arbitrary linear functional of the output so the full
+// Jacobian is exercised, not just the row sums.
+GradCheckResult check_input_gradient(Module& module, const Matrix& input,
+                                     const Matrix& weights, double eps = 1e-6);
+
+// Checks dLoss/dParameter for every parameter of `module` under the same
+// scalarization.
+GradCheckResult check_parameter_gradients(Module& module, const Matrix& input,
+                                          const Matrix& weights,
+                                          double eps = 1e-6);
+
+// Generic checker: compares `analytic` to the central difference of
+// `loss_of(x)` where x perturbs `subject` elementwise.
+GradCheckResult check_gradient_against(
+    Matrix& subject, const Matrix& analytic,
+    const std::function<double()>& loss_of, double eps = 1e-6);
+
+}  // namespace cfgx

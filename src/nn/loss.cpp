@@ -1,0 +1,81 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cfgx {
+namespace {
+
+void check_targets(const Matrix& scores, const std::vector<std::size_t>& targets,
+                   const char* who) {
+  if (targets.size() != scores.rows()) {
+    throw std::invalid_argument(std::string(who) + ": batch size mismatch");
+  }
+  for (std::size_t t : targets) {
+    if (t >= scores.cols()) {
+      throw std::invalid_argument(std::string(who) + ": target class out of range");
+    }
+  }
+}
+
+}  // namespace
+
+LossResult nll_from_probabilities(const Matrix& probabilities,
+                                  const std::vector<std::size_t>& targets,
+                                  double bias) {
+  check_targets(probabilities, targets, "nll_from_probabilities");
+  const auto batch = static_cast<double>(probabilities.rows());
+  LossResult result;
+  result.grad = Matrix(probabilities.rows(), probabilities.cols());
+  for (std::size_t i = 0; i < probabilities.rows(); ++i) {
+    const double p = probabilities(i, targets[i]);
+    result.value += -std::log(p + bias);
+    result.grad(i, targets[i]) = -1.0 / ((p + bias) * batch);
+  }
+  result.value /= batch;
+  return result;
+}
+
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<std::size_t>& targets) {
+  check_targets(logits, targets, "softmax_cross_entropy");
+  const auto batch = static_cast<double>(logits.rows());
+  Matrix probs = softmax_rows(logits);
+  LossResult result;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    result.value += -std::log(std::max(probs(i, targets[i]), 1e-300));
+  }
+  result.value /= batch;
+  for (std::size_t i = 0; i < probs.rows(); ++i) probs(i, targets[i]) -= 1.0;
+  probs *= 1.0 / batch;
+  result.grad = std::move(probs);
+  return result;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    const double m = *std::max_element(row.begin(), row.end());
+    double denom = 0.0;
+    for (double& v : row) {
+      v = std::exp(v - m);
+      denom += v;
+    }
+    for (double& v : row) v /= denom;
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Matrix& scores) {
+  std::vector<std::size_t> out(scores.rows());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.row(r);
+    out[r] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+}  // namespace cfgx

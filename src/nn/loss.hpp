@@ -1,0 +1,43 @@
+// Loss functions.
+//
+// The paper's CFGExplainer uses a negative log-likelihood loss over softmax
+// probabilities with a small positive bias inside the log (Section IV-A:
+// log(Y[C] + 1e-20)) to avoid log(0). nll_from_probabilities reproduces
+// exactly that. The GNN classifier itself is trained with the standard
+// fused softmax + cross-entropy for numerical stability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace cfgx {
+
+// The paper's log bias (Section IV-A).
+inline constexpr double kLogBias = 1e-20;
+
+struct LossResult {
+  double value = 0.0;  // mean loss over the batch
+  Matrix grad;         // dLoss/dInput, same shape as the loss input
+};
+
+// NLL over probability rows: loss = -(1/m) sum_i log(P[i, target_i] + bias).
+// `probabilities` is [batch, classes] of softmax outputs; grad is w.r.t.
+// the probabilities (to be chained through SoftmaxRows::backward).
+LossResult nll_from_probabilities(const Matrix& probabilities,
+                                  const std::vector<std::size_t>& targets,
+                                  double bias = kLogBias);
+
+// Fused softmax + cross-entropy over logits. Returns the mean loss and the
+// gradient w.r.t. the *logits* (softmax(logits) - onehot)/batch.
+LossResult softmax_cross_entropy(const Matrix& logits,
+                                 const std::vector<std::size_t>& targets);
+
+// Row-wise softmax probabilities of logits (no caching; convenience).
+Matrix softmax_rows(const Matrix& logits);
+
+// argmax of each row.
+std::vector<std::size_t> argmax_rows(const Matrix& scores);
+
+}  // namespace cfgx

@@ -1,0 +1,205 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cfgx {
+namespace {
+
+[[noreturn]] void throw_shape(const char* op, const Matrix& a, const Matrix& b) {
+  throw std::invalid_argument(std::string("Matrix ") + op + ": shape mismatch [" +
+                              std::to_string(a.rows()) + "x" + std::to_string(a.cols()) +
+                              "] vs [" + std::to_string(b.rows()) + "x" +
+                              std::to_string(b.cols()) + "]");
+}
+
+}  // namespace
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::row_vector(std::span<const double> values) {
+  Matrix out(1, values.size());
+  std::copy(values.begin(), values.end(), out.data());
+  return out;
+}
+
+Matrix Matrix::column_vector(std::span<const double> values) {
+  Matrix out(values.size(), 1);
+  std::copy(values.begin(), values.end(), out.data());
+  return out;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at(" + std::to_string(r) + "," +
+                            std::to_string(c) + ") out of [" +
+                            std::to_string(rows_) + "x" + std::to_string(cols_) + "]");
+  }
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  return const_cast<Matrix*>(this)->at(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (!same_shape(other)) throw_shape("+=", *this, other);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (!same_shape(other)) throw_shape("-=", *this, other);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::hadamard_inplace(const Matrix& other) {
+  if (!same_shape(other)) throw_shape("hadamard", *this, other);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::apply(const std::function<double(double)>& fn) {
+  for (double& v : data_) v = fn(v);
+  return *this;
+}
+
+double Matrix::sum() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Matrix Matrix::row_sums() const {
+  Matrix out(rows_, 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c);
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::col_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(0, c) += (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+std::string Matrix::to_string(int decimals) const {
+  std::ostringstream out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof buf, "% .*f", decimals, (*this)(r, c));
+      out << buf << (c + 1 == cols_ ? "" : " ");
+    }
+    out << (r + 1 == rows_ ? "]" : "\n");
+  }
+  return out.str();
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw_shape("matmul", a, b);
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order for cache-friendly access of row-major operands.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.data() + i * out.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;  // sparse adjacency rows are mostly zero
+      const double* b_row = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw_shape("matmul_transpose_a", a, b);
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.data() + k * a.cols();
+    const double* b_row = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.data() + i * out.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw_shape("matmul_transpose_b", a, b);
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.data() + i * a.cols();
+    double* out_row = out.data() + i * out.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.data() + j * b.cols();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace cfgx

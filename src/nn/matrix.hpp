@@ -1,0 +1,119 @@
+// Dense row-major matrix of doubles: the numeric workhorse for every model
+// in this repository (GCN layers, MLPs, explainer masks).
+//
+// The type is a regular value type (copyable, movable, equality-comparable)
+// with bounds-checked element access in debug builds via at().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cfgx {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  // rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Construct from nested initializer list: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) { return {rows, cols}; }
+  static Matrix identity(std::size_t n);
+  static Matrix row_vector(std::span<const double> values);
+  static Matrix column_vector(std::span<const double> values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  // Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+  void set_zero() { fill(0.0); }
+
+  // --- elementwise (in place); throw on shape mismatch ---
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+  Matrix& hadamard_inplace(const Matrix& other);
+
+  // Applies fn to every element.
+  Matrix& apply(const std::function<double(double)>& fn);
+
+  // --- elementwise (value-returning) ---
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double scalar) noexcept { return lhs *= scalar; }
+  friend Matrix operator*(double scalar, Matrix rhs) noexcept { return rhs *= scalar; }
+  Matrix hadamard(const Matrix& other) const {
+    Matrix out = *this;
+    return out.hadamard_inplace(other);
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+  // --- reductions ---
+  double sum() const noexcept;
+  double max_abs() const noexcept;
+  double frobenius_norm() const noexcept;
+  Matrix row_sums() const;   // [rows, 1]
+  Matrix col_sums() const;   // [1, cols]
+
+  Matrix transpose() const;
+
+  // Human-readable rendering (tests, debugging).
+  std::string to_string(int decimals = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// C = A * B. Throws std::invalid_argument on inner-dimension mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+// C = A^T * B without materializing A^T.
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b);
+// C = A * B^T without materializing B^T.
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b);
+
+// True when both shapes match and all |a-b| <= tol.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace cfgx

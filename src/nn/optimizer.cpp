@@ -1,0 +1,46 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cfgx {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  if (params_.empty()) throw std::invalid_argument("Adam: no parameters");
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    first_moment_.emplace_back(p->value.rows(), p->value.cols());
+    second_moment_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    Matrix& m = first_moment_[k];
+    Matrix& v = second_moment_[k];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const double g = p.grad.data()[i];
+      m.data()[i] = config_.beta1 * m.data()[i] + (1.0 - config_.beta1) * g;
+      v.data()[i] = config_.beta2 * v.data()[i] + (1.0 - config_.beta2) * g * g;
+      const double m_hat = m.data()[i] / bias1;
+      const double v_hat = v.data()[i] / bias2;
+      double update = m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      if (config_.weight_decay > 0.0) {
+        update += config_.weight_decay * p.value.data()[i];
+      }
+      p.value.data()[i] -= config_.learning_rate * update;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace cfgx

@@ -1,0 +1,42 @@
+// Adam optimizer (Kingma & Ba, 2014) — the optimizer named by the paper for
+// both the GNN classifier and CFGExplainer's joint training (Algorithm 1,
+// line 15).
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace cfgx {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style) when > 0
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  // Applies one update from the accumulated gradients, then leaves the
+  // gradients untouched (call zero_grad on the owning modules afterwards).
+  void step();
+
+  // Convenience: zero the gradients of all registered parameters.
+  void zero_grad();
+
+  std::size_t step_count() const { return step_count_; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+  std::size_t step_count_ = 0;
+};
+
+}  // namespace cfgx

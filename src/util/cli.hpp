@@ -1,0 +1,38 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+//   CliArgs args(argc, argv);
+//   int epochs = args.get_int("epochs", 30);
+//   bool fast  = args.get_flag("fast");
+//
+// Accepted syntax: --name=value, --name value, --flag.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cfgx {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  // Boolean flag: present (with no value or "true"/"1") => true.
+  bool get_flag(const std::string& name) const;
+
+  std::string get_string(const std::string& name, std::string fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  // Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cfgx

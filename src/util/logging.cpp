@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace cfgx {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_io_mutex;
+
+}  // namespace
+
+LogLevel global_log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_global_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogLine::~LogLine() {
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[%8lld.%03lld] %-5s %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), to_string(level_),
+               stream_.str().c_str());
+}
+
+}  // namespace detail
+}  // namespace cfgx

@@ -1,0 +1,49 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: CFGX_LOG(Info) << "trained " << n << " epochs";
+// The global level gates output; benches raise it to keep tables clean.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace cfgx {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel global_log_level() noexcept;
+void set_global_log_level(LogLevel level) noexcept;
+
+const char* to_string(LogLevel level) noexcept;
+
+namespace detail {
+
+// Collects one log line and flushes it (with level prefix and timestamp)
+// on destruction. Cheap when the line is filtered out: LogLine is only
+// constructed after the level check in the macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cfgx
+
+#define CFGX_LOG(severity)                                          \
+  if (::cfgx::LogLevel::severity < ::cfgx::global_log_level()) {    \
+  } else                                                            \
+    ::cfgx::detail::LogLine(::cfgx::LogLevel::severity)

@@ -1,0 +1,139 @@
+// Deterministic random number generation for the whole repository.
+//
+// Every stochastic component (weight init, corpus generation, mini-batch
+// sampling, Monte-Carlo Shapley, ...) draws from an explicitly seeded Rng
+// instance. There is no global RNG state, so results are reproducible
+// bit-for-bit and independent streams can be split off for parallel work.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cfgx {
+
+// splitmix64: used to expand a single 64-bit seed into a full xoshiro state.
+// Reference: Sebastiano Vigna, public domain.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed'cafe'f00dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Derive an independent child stream; deterministic in (parent state, tag).
+  Rng split(std::uint64_t tag) noexcept {
+    std::uint64_t mix = (*this)() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng{splitmix64(mix)};
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::uniform_index: n must be > 0");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+  }
+
+  // Standard normal via Box-Muller (single value; the sibling is discarded
+  // to keep the generator state path independent of caller patterns).
+  double normal() noexcept;
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    shuffle(std::span<T>{values});
+  }
+
+  // Uniformly pick one element. Requires non-empty input.
+  template <typename T>
+  const T& choice(std::span<const T> values) {
+    if (values.empty()) throw std::invalid_argument("Rng::choice: empty span");
+    return values[uniform_index(values.size())];
+  }
+
+  template <typename T>
+  const T& choice(const std::vector<T>& values) {
+    return choice(std::span<const T>{values});
+  }
+
+  // Sample k distinct indices from [0, n) in random order (partial
+  // Fisher-Yates). Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace cfgx

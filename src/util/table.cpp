@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cfgx {
+
+TextTable::TextTable(std::vector<std::string> header,
+                     std::vector<Align> alignment)
+    : header_(std::move(header)), alignment_(std::move(alignment)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+  if (alignment_.empty()) {
+    alignment_.assign(header_.size(), Align::Left);
+  }
+  if (alignment_.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: alignment arity mismatch");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: arity mismatch");
+  }
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto emit_cells = [&](std::ostringstream& out,
+                              const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      out << ' ';
+      if (alignment_[c] == Align::Right) out << std::string(pad, ' ');
+      out << cells[c];
+      if (alignment_[c] == Align::Left) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  const auto emit_rule = [&](std::ostringstream& out) {
+    out << '+';
+    for (std::size_t width : widths) out << std::string(width + 2, '-') << '+';
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_rule(out);
+  emit_cells(out, header_);
+  emit_rule(out);
+  for (const Row& row : rows_) {
+    if (row.rule_before) emit_rule(out);
+    emit_cells(out, row.cells);
+  }
+  emit_rule(out);
+  return out.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace cfgx

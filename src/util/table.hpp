@@ -1,0 +1,48 @@
+// ASCII table rendering used by the benchmark harness to print rows in the
+// same layout as the paper's tables (Table III, IV, V, ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cfgx {
+
+enum class Align { Left, Right };
+
+// A simple column-aligned table. Cells are strings; numeric formatting is
+// the caller's responsibility (see format_fixed below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> alignment = {});
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Renders the full table with a header rule.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+// Fixed-point formatting helper ("0.7531" style used throughout the paper).
+std::string format_fixed(double value, int decimals = 4);
+
+// Percentage formatting ("52.4%").
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace cfgx

@@ -1,0 +1,69 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cfgx {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions are captured by the packaged_task
+  }
+}
+
+}  // namespace cfgx

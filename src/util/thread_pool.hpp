@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used to parallelize per-graph explanation work (each graph's computation
+// is seed-isolated, so parallel execution does not perturb determinism).
+// On a single-core machine the pool degrades gracefully to near-serial
+// execution with identical results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cfgx {
+
+class ThreadPool {
+ public:
+  // worker_count == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // Enqueue a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, count), blocking until all complete.
+  // Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cfgx

@@ -1,0 +1,31 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cfgx {
+
+double DurationStats::min() const {
+  if (samples_.empty()) throw std::logic_error("DurationStats::min: no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double DurationStats::max() const {
+  if (samples_.empty()) throw std::logic_error("DurationStats::max: no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::string DurationStats::summary() const {
+  const double m = mean();
+  const double sd = stddev();
+  char buf[64];
+  if (m >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f +/- %.2f s", m, sd);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f +/- %.2f ms", m * 1e3, sd * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace cfgx

@@ -1,0 +1,66 @@
+// Wall-clock timing and simple summary statistics for Table IV style
+// "mean +/- std per explanation" reporting.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cfgx {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates sample durations and reports mean / standard deviation.
+class DurationStats {
+ public:
+  void add(double seconds) { samples_.push_back(seconds); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double total() const {
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum;
+  }
+
+  double mean() const { return samples_.empty() ? 0.0 : total() / samples_.size(); }
+
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  double min() const;
+  double max() const;
+
+  // "12.3 +/- 0.4 ms" or "1.2 +/- 0.1 s" depending on magnitude.
+  std::string summary() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace cfgx

@@ -1,0 +1,120 @@
+// Tests for the bench harness' shared machinery: the evaluation cache
+// format and the CLI-driven configuration.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "nn/serialize.hpp"
+
+#include "common.hpp"
+
+namespace cfgx::bench {
+namespace {
+
+NamedEvaluation sample_evaluation() {
+  NamedEvaluation eval;
+  eval.offline_training_seconds = 123.5;
+  eval.evaluation.explainer_name = "CFGExplainer";
+  eval.evaluation.average_auc = 0.77;
+  eval.evaluation.plant_precision = 0.5;
+  eval.evaluation.plant_recall = 0.52;
+  eval.evaluation.complement_accuracy_at_20 = 0.31;
+  eval.evaluation.sparsity_at_20 = 0.79;
+  eval.evaluation.explain_time.add(0.002);
+  eval.evaluation.explain_time.add(0.004);
+
+  FamilyCurve curve;
+  curve.family = Family::Zbot;
+  curve.sample_count = 8;
+  curve.auc = 0.81;
+  curve.fractions = {0.1, 0.2, 0.5, 1.0};
+  curve.accuracies = {0.3, 0.6, 0.8, 0.9};
+  eval.evaluation.per_family.push_back(curve);
+  return eval;
+}
+
+TEST(EvalCacheTest, RoundTripPreservesEverything) {
+  const std::string path = ::testing::TempDir() + "/cfgx_eval.bin";
+  const NamedEvaluation original = sample_evaluation();
+  save_evaluation_file(path, original);
+  const NamedEvaluation restored = load_evaluation_file(path);
+
+  EXPECT_EQ(restored.evaluation.explainer_name, "CFGExplainer");
+  EXPECT_DOUBLE_EQ(restored.offline_training_seconds, 123.5);
+  EXPECT_DOUBLE_EQ(restored.evaluation.average_auc, 0.77);
+  EXPECT_DOUBLE_EQ(restored.evaluation.plant_recall, 0.52);
+  EXPECT_DOUBLE_EQ(restored.evaluation.complement_accuracy_at_20, 0.31);
+  EXPECT_DOUBLE_EQ(restored.evaluation.sparsity_at_20, 0.79);
+  EXPECT_EQ(restored.evaluation.explain_time.count(), 2u);
+  EXPECT_NEAR(restored.evaluation.explain_time.mean(), 0.003, 1e-12);
+
+  ASSERT_EQ(restored.evaluation.per_family.size(), 1u);
+  const FamilyCurve& curve = restored.evaluation.per_family[0];
+  EXPECT_EQ(curve.family, Family::Zbot);
+  EXPECT_EQ(curve.sample_count, 8u);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.81);
+  EXPECT_EQ(curve.fractions.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve.accuracies[1], 0.6);
+}
+
+TEST(EvalCacheTest, BadMagicThrows) {
+  const std::string path = ::testing::TempDir() + "/cfgx_eval_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "WRONGMAGICxxxxxxxxxxxxxxxx";
+  }
+  EXPECT_THROW(load_evaluation_file(path), SerializationError);
+}
+
+TEST(EvalCacheTest, MissingFileThrows) {
+  EXPECT_THROW(load_evaluation_file("/nonexistent/eval.bin"), SerializationError);
+}
+
+TEST(BenchConfigTest, DefaultsAreFullScale) {
+  const char* argv[] = {"bench"};
+  const CliArgs args(1, argv);
+  const BenchConfig config = BenchConfig::from_cli(args);
+  EXPECT_FALSE(config.fast);
+  EXPECT_EQ(config.samples_per_family, 40u);
+  EXPECT_EQ(config.gnn_epochs, 250u);
+}
+
+TEST(BenchConfigTest, FastModeShrinksEverything) {
+  const char* argv[] = {"bench", "--fast"};
+  const CliArgs args(2, argv);
+  const BenchConfig config = BenchConfig::from_cli(args);
+  EXPECT_TRUE(config.fast);
+  EXPECT_LT(config.samples_per_family, 40u);
+  EXPECT_LT(config.gnn_epochs, 250u);
+  EXPECT_NE(config.cache_dir.find("_fast"), std::string::npos);
+}
+
+TEST(BenchConfigTest, ExplicitFlagsOverrideProfiles) {
+  const char* argv[] = {"bench", "--fast", "--samples", "99"};
+  const CliArgs args(4, argv);
+  const BenchConfig config = BenchConfig::from_cli(args);
+  EXPECT_EQ(config.samples_per_family, 99u);
+}
+
+TEST(BenchContextTest, FreshFlagClearsCache) {
+  const std::string dir = ::testing::TempDir() + "/cfgx_bench_ctx";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/stale.bin");
+    out << "old";
+  }
+  BenchConfig config;
+  config.fresh = true;
+  config.cache_dir = dir;
+  BenchContext ctx(config);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/stale.bin"));
+}
+
+TEST(FormatMinutesTest, UnitsSwitchAtSixtySeconds) {
+  EXPECT_NE(format_minutes(30.0).find(" s"), std::string::npos);
+  EXPECT_NE(format_minutes(120.0).find("min"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfgx::bench

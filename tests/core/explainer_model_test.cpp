@@ -1,0 +1,220 @@
+#include "core/explainer_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+
+namespace cfgx {
+namespace {
+
+ExplainerModelConfig tiny_config() {
+  ExplainerModelConfig config;
+  config.embedding_dim = 6;
+  config.scorer_dims = {8, 4, 1};
+  config.surrogate_dims = {8, 4};
+  config.num_classes = 3;
+  return config;
+}
+
+Matrix random_embeddings(std::size_t n, std::size_t f, Rng& rng) {
+  Matrix z(n, f);
+  // GNN embeddings are ReLU outputs: non-negative.
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z.data()[i] = std::max(0.0, rng.normal(0.5, 1.0));
+  }
+  return z;
+}
+
+TEST(ExplainerModelTest, ScoresAreProbabilities) {
+  Rng rng(1);
+  ExplainerModel model(tiny_config(), rng);
+  const Matrix z = random_embeddings(9, 6, rng);
+  const Matrix psi = model.score_nodes(z);
+  ASSERT_EQ(psi.rows(), 9u);
+  ASSERT_EQ(psi.cols(), 1u);
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    EXPECT_GT(psi.data()[i], 0.0);
+    EXPECT_LT(psi.data()[i], 1.0);
+  }
+}
+
+TEST(ExplainerModelTest, JointForwardShapes) {
+  Rng rng(2);
+  ExplainerModel model(tiny_config(), rng);
+  const Matrix z = random_embeddings(5, 6, rng);
+  const auto forward = model.joint_forward(z);
+  EXPECT_EQ(forward.scores.rows(), 5u);
+  EXPECT_EQ(forward.probabilities.rows(), 1u);
+  EXPECT_EQ(forward.probabilities.cols(), 3u);
+  EXPECT_NEAR(forward.probabilities.sum(), 1.0, 1e-9);
+}
+
+TEST(ExplainerModelTest, ScorerMustEndInSingleUnit) {
+  Rng rng(3);
+  ExplainerModelConfig bad = tiny_config();
+  bad.scorer_dims = {8, 4, 2};
+  EXPECT_THROW(ExplainerModel(bad, rng), std::invalid_argument);
+  bad.scorer_dims = {};
+  EXPECT_THROW(ExplainerModel(bad, rng), std::invalid_argument);
+}
+
+TEST(ExplainerModelTest, EmbeddingDimMismatchThrows) {
+  Rng rng(4);
+  ExplainerModel model(tiny_config(), rng);
+  EXPECT_THROW(model.score_nodes(Matrix(4, 7)), std::invalid_argument);
+  EXPECT_THROW(model.joint_forward(Matrix(4, 7)), std::invalid_argument);
+}
+
+TEST(ExplainerModelTest, BackwardBeforeForwardThrows) {
+  Rng rng(5);
+  ExplainerModel model(tiny_config(), rng);
+  EXPECT_THROW(model.joint_backward(Matrix(1, 3)), std::logic_error);
+}
+
+TEST(ExplainerModelTest, JointGradientsMatchNumeric) {
+  // Full joint chain: NLL -> Theta_c -> weighting -> Theta_s. Checks every
+  // parameter of both networks against central differences.
+  Rng rng(6);
+  ExplainerModel model(tiny_config(), rng);
+  const Matrix z = random_embeddings(4, 6, rng);
+  const std::vector<std::size_t> target{1};
+
+  model.zero_grad();
+  const auto forward = model.joint_forward(z);
+  const LossResult loss = nll_from_probabilities(forward.probabilities, target);
+  model.joint_backward(loss.grad);
+
+  const auto loss_value = [&] {
+    const auto f = model.joint_forward(z);
+    return nll_from_probabilities(f.probabilities, target).value;
+  };
+  for (Parameter* param : model.parameters()) {
+    const Matrix analytic = param->grad;
+    const auto result =
+        check_gradient_against(param->value, analytic, loss_value);
+    EXPECT_TRUE(result.passed(2e-4))
+        << param->name << " rel err " << result.max_rel_error;
+  }
+}
+
+TEST(ExplainerModelTest, ScorerReceivesGradientThroughWeighting) {
+  // The defining property of Algorithm 1: the classification loss reaches
+  // Theta_s. After one backward, at least one scorer parameter must have a
+  // non-zero gradient.
+  Rng rng(7);
+  ExplainerModel model(tiny_config(), rng);
+  const Matrix z = random_embeddings(6, 6, rng);
+  model.zero_grad();
+  const auto forward = model.joint_forward(z);
+  const LossResult loss = nll_from_probabilities(forward.probabilities, {0});
+  model.joint_backward(loss.grad);
+
+  double scorer_grad_mass = 0.0;
+  for (Parameter* param : model.parameters()) {
+    if (param->name.rfind("theta_s.", 0) == 0) {
+      scorer_grad_mass += param->grad.max_abs();
+    }
+  }
+  EXPECT_GT(scorer_grad_mass, 0.0);
+}
+
+TEST(ExplainerModelTest, ParameterCountMatchesArchitecture) {
+  Rng rng(8);
+  ExplainerModel model(tiny_config(), rng);
+  // Scorer: 3 dense layers; surrogate: 2 hidden + 1 output = 3 dense layers.
+  // Total (W, b) pairs: 6 -> 12 parameters.
+  EXPECT_EQ(model.parameters().size(), 12u);
+}
+
+TEST(ExplainerModelTest, SaveLoadRoundTrip) {
+  Rng rng(9);
+  ExplainerModel model(tiny_config(), rng);
+  const Matrix z = random_embeddings(5, 6, rng);
+  const Matrix before = model.score_nodes(z);
+
+  std::stringstream buffer;
+  model.save(buffer);
+  ExplainerModel restored = ExplainerModel::load(buffer);
+  EXPECT_TRUE(approx_equal(before, restored.score_nodes(z), 1e-12));
+}
+
+TEST(ExplainerModelTest, LoadRejectsGarbage) {
+  std::stringstream buffer("garbage bytes here............");
+  EXPECT_THROW(ExplainerModel::load(buffer), SerializationError);
+}
+
+TEST(ExplainerModelTest, CloneMatchesAndIsIndependent) {
+  Rng rng(10);
+  ExplainerModel model(tiny_config(), rng);
+  ExplainerModel copy = model.clone();
+  const Matrix z = random_embeddings(3, 6, rng);
+  EXPECT_TRUE(approx_equal(model.score_nodes(z), copy.score_nodes(z), 1e-12));
+  copy.parameters()[0]->value(0, 0) += 1.0;
+  EXPECT_FALSE(approx_equal(model.score_nodes(z), copy.score_nodes(z), 1e-12));
+}
+
+TEST(ExplainerModelTest, WeightingTiesScoresToClassification) {
+  // Scaling a node's score to ~0 must change the predicted distribution
+  // relative to leaving it untouched (the surrogate consumes weighted
+  // embeddings, not raw ones).
+  Rng rng(11);
+  ExplainerModel model(tiny_config(), rng);
+  Matrix z = random_embeddings(4, 6, rng);
+  const auto baseline = model.joint_forward(z);
+
+  // Zero a high-magnitude embedding row: equivalent to score 0 for it.
+  Matrix z_zeroed = z;
+  for (std::size_t c = 0; c < z_zeroed.cols(); ++c) z_zeroed(0, c) = 0.0;
+  const auto altered = model.joint_forward(z_zeroed);
+  EXPECT_FALSE(
+      approx_equal(baseline.probabilities, altered.probabilities, 1e-9));
+}
+
+TEST(ExplainerModelScaleTest, ScaleInvarianceOfScores) {
+  // Scaling the embeddings by k and the model's embedding_scale by k must
+  // give identical scores — the conditioning contract.
+  Rng rng(12);
+  ExplainerModelConfig config;
+  config.embedding_dim = 6;
+  config.num_classes = 3;
+  ExplainerModel model(config, rng);
+  Matrix z(4, 6);
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = 0.1 * (i + 1);
+
+  const Matrix base = model.score_nodes(z);
+  Matrix scaled_z = z;
+  scaled_z *= 100.0;
+  model.set_embedding_scale(100.0);
+  const Matrix scaled = model.score_nodes(scaled_z);
+  EXPECT_TRUE(approx_equal(base, scaled, 1e-12));
+}
+
+TEST(ExplainerModelScaleTest, NonPositiveScaleThrows) {
+  Rng rng(13);
+  ExplainerModelConfig config;
+  config.embedding_dim = 4;
+  config.num_classes = 2;
+  ExplainerModel model(config, rng);
+  EXPECT_THROW(model.set_embedding_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(model.set_embedding_scale(-1.0), std::invalid_argument);
+}
+
+TEST(ExplainerModelScaleTest, ScaleSurvivesSaveLoad) {
+  Rng rng(14);
+  ExplainerModelConfig config;
+  config.embedding_dim = 4;
+  config.num_classes = 2;
+  ExplainerModel model(config, rng);
+  model.set_embedding_scale(42.5);
+  std::stringstream buffer;
+  model.save(buffer);
+  const ExplainerModel restored = ExplainerModel::load(buffer);
+  EXPECT_DOUBLE_EQ(restored.embedding_scale(), 42.5);
+}
+
+}  // namespace
+}  // namespace cfgx

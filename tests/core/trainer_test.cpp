@@ -1,0 +1,140 @@
+// Tests for the initial learning stage (Algorithm 1).
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gnn/trainer.hpp"
+
+namespace cfgx {
+namespace {
+
+// Shared fixture: a tiny corpus and a lightly trained GNN.
+class ExplainerTrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusConfig corpus_config;
+    corpus_config.samples_per_family = 4;
+    corpus_config.seed = 11;
+    corpus_ = new Corpus(generate_corpus(corpus_config));
+    split_ = new Split(stratified_split(*corpus_, 0.75, 5));
+
+    GnnConfig gnn_config;
+    gnn_config.gcn_dims = {16, 12};
+    Rng rng(3);
+    gnn_ = new GnnClassifier(gnn_config, rng);
+    GnnTrainConfig train_config;
+    train_config.epochs = 25;
+    train_gnn(*gnn_, *corpus_, split_->train, train_config);
+  }
+
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete split_;
+    delete gnn_;
+    corpus_ = nullptr;
+    split_ = nullptr;
+    gnn_ = nullptr;
+  }
+
+  static ExplainerModel fresh_model(std::uint64_t seed) {
+    ExplainerModelConfig config;
+    config.embedding_dim = gnn_->config().embedding_dim();
+    config.num_classes = gnn_->config().num_classes;
+    Rng rng(seed);
+    return ExplainerModel(config, rng);
+  }
+
+  static Corpus* corpus_;
+  static Split* split_;
+  static GnnClassifier* gnn_;
+};
+
+Corpus* ExplainerTrainerTest::corpus_ = nullptr;
+Split* ExplainerTrainerTest::split_ = nullptr;
+GnnClassifier* ExplainerTrainerTest::gnn_ = nullptr;
+
+TEST_F(ExplainerTrainerTest, LossDecreases) {
+  ExplainerModel model = fresh_model(1);
+  ExplainerTrainConfig config;
+  config.epochs = 150;
+  const auto result =
+      train_explainer(model, *gnn_, *corpus_, split_->train, config);
+  ASSERT_EQ(result.epoch_losses.size(), 150u);
+  // Compare the mean of the first and last 10 epochs (mini-batch noise).
+  double head = 0.0, tail = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    head += result.epoch_losses[i];
+    tail += result.epoch_losses[result.epoch_losses.size() - 1 - i];
+  }
+  EXPECT_LT(tail, head);
+}
+
+TEST_F(ExplainerTrainerTest, SurrogateLearnsToMimicGnn) {
+  ExplainerModel model = fresh_model(2);
+  ExplainerTrainConfig config;
+  config.epochs = 300;
+  const auto result =
+      train_explainer(model, *gnn_, *corpus_, split_->train, config);
+  // The surrogate must agree with the GNN far above chance (1/12).
+  EXPECT_GT(result.surrogate_fidelity, 0.4);
+}
+
+TEST_F(ExplainerTrainerTest, EmptyTrainingSetThrows) {
+  ExplainerModel model = fresh_model(3);
+  EXPECT_THROW(train_explainer(model, *gnn_, *corpus_, {}, {}),
+               std::invalid_argument);
+}
+
+TEST_F(ExplainerTrainerTest, ZeroBatchSizeThrows) {
+  ExplainerModel model = fresh_model(4);
+  ExplainerTrainConfig config;
+  config.batch_size = 0;
+  EXPECT_THROW(train_explainer(model, *gnn_, *corpus_, split_->train, config),
+               std::invalid_argument);
+}
+
+TEST_F(ExplainerTrainerTest, EmbeddingDimMismatchThrows) {
+  ExplainerModelConfig config;
+  config.embedding_dim = gnn_->config().embedding_dim() + 1;
+  config.num_classes = gnn_->config().num_classes;
+  Rng rng(5);
+  ExplainerModel model(config, rng);
+  EXPECT_THROW(train_explainer(model, *gnn_, *corpus_, split_->train, {}),
+               std::invalid_argument);
+}
+
+TEST_F(ExplainerTrainerTest, TrainingIsDeterministic) {
+  ExplainerTrainConfig config;
+  config.epochs = 20;
+  ExplainerModel model_a = fresh_model(6);
+  const auto result_a =
+      train_explainer(model_a, *gnn_, *corpus_, split_->train, config);
+  ExplainerModel model_b = fresh_model(6);
+  const auto result_b =
+      train_explainer(model_b, *gnn_, *corpus_, split_->train, config);
+  for (std::size_t i = 0; i < result_a.epoch_losses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result_a.epoch_losses[i], result_b.epoch_losses[i]);
+  }
+}
+
+TEST_F(ExplainerTrainerTest, OnEpochCallbackFires) {
+  ExplainerModel model = fresh_model(7);
+  ExplainerTrainConfig config;
+  config.epochs = 5;
+  std::size_t calls = 0;
+  config.on_epoch = [&](std::size_t, double) { ++calls; };
+  train_explainer(model, *gnn_, *corpus_, split_->train, config);
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST_F(ExplainerTrainerTest, BatchLargerThanDatasetIsClamped) {
+  ExplainerModel model = fresh_model(8);
+  ExplainerTrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 100000;
+  EXPECT_NO_THROW(
+      train_explainer(model, *gnn_, *corpus_, split_->train, config));
+}
+
+}  // namespace
+}  // namespace cfgx

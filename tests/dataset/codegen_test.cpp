@@ -1,0 +1,228 @@
+#include "dataset/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/lifter.hpp"
+#include "isa/patterns.hpp"
+
+namespace cfgx {
+namespace {
+
+// Runs the pattern detectors over every instruction emitted inside the
+// planted ranges of `gen`'s program.
+std::vector<PatternHit> hits_in_planted(const Program& program,
+                                        const std::vector<InstrRange>& planted) {
+  std::vector<Instruction> instructions;
+  for (const InstrRange& range : planted) {
+    for (std::size_t i = range.first; i < range.second; ++i) {
+      instructions.push_back(program.instructions()[i]);
+    }
+  }
+  return detect_patterns(instructions);
+}
+
+TEST(CodegenTest, FreshLabelsAreUnique) {
+  Rng rng(1);
+  Codegen gen(rng);
+  EXPECT_NE(gen.fresh_label("x"), gen.fresh_label("x"));
+}
+
+TEST(CodegenTest, ComputeEmitsRequestedLength) {
+  Rng rng(2);
+  Codegen gen(rng);
+  gen.emit_compute(7);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  EXPECT_EQ(program.size(), 8u);
+}
+
+TEST(CodegenTest, BranchDiamondBuildsValidProgram) {
+  Rng rng(3);
+  Codegen gen(rng);
+  gen.emit_branch_diamond(3);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const LiftedCfg cfg = lift_program(program);
+  EXPECT_GE(cfg.block_count(), 3u);  // cond, then-arm, else-arm/join
+}
+
+TEST(CodegenTest, CountedLoopHasBackEdge) {
+  Rng rng(4);
+  Codegen gen(rng);
+  gen.emit_counted_loop(2, 10);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const LiftedCfg cfg = lift_program(program);
+  bool has_back_edge = false;
+  for (const CfgEdge& e : cfg.edges()) {
+    if (e.dst <= e.src) has_back_edge = true;
+  }
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(CodegenTest, BenignFunctionIsValidAndReturnsEntry) {
+  Rng rng(5);
+  Codegen gen(rng);
+  const std::string entry = gen.emit_benign_function(6);
+  const Program program = gen.finish();
+  EXPECT_TRUE(program.label_index(entry).has_value());
+  EXPECT_EQ(program.instructions().back().opcode, Opcode::Ret);
+  // No malicious plants from benign scaffolding.
+  EXPECT_TRUE(gen.planted_ranges().empty());
+}
+
+TEST(CodegenTest, BenignFunctionAvoidsCodeManipulationShape) {
+  // Benign API calls deliberately store via EBX, not EAX, right after the
+  // call; the detector must not flag them.
+  Rng rng(6);
+  Codegen gen(rng);
+  gen.emit_benign_api_call();
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const auto hits = detect_patterns(program.instructions());
+  for (const PatternHit& hit : hits) {
+    EXPECT_NE(hit.pattern, MalwarePattern::CodeManipulation);
+  }
+}
+
+TEST(CodegenTest, XorDecoderLoopIsPlantedAndDetectable) {
+  Rng rng(7);
+  Codegen gen(rng);
+  gen.emit_xor_decoder_loop(0x55, /*byte_key=*/true);
+  gen.builder().ret();
+  ASSERT_EQ(gen.planted_ranges().size(), 1u);
+  const Program program = gen.finish();
+  EXPECT_NO_THROW(program.validate());
+
+  bool found = false;
+  for (const auto& hit :
+       hits_in_planted(program, {{0, program.size() - 1}})) {
+    if (hit.pattern == MalwarePattern::XorObfuscation) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CodegenTest, XorObfuscationBlockContainsBigKey) {
+  Rng rng(8);
+  Codegen gen(rng);
+  gen.emit_xor_obfuscation_block(0x68A25749);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  bool has_key = false;
+  for (const Instruction& instr : program.instructions()) {
+    for (const Operand& op : instr.operands) {
+      if (op.kind == Operand::Kind::Imm && op.imm == 0x68A25749) has_key = true;
+    }
+  }
+  EXPECT_TRUE(has_key);
+}
+
+TEST(CodegenTest, SemanticNopSledAllNops) {
+  Rng rng(9);
+  Codegen gen(rng);
+  gen.emit_semantic_nop_sled(10);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const auto hits = detect_patterns(
+      std::span<const Instruction>(program.instructions().data(), 10));
+  std::size_t nops = 0;
+  for (const auto& hit : hits) {
+    if (hit.pattern == MalwarePattern::SemanticNop) ++nops;
+  }
+  EXPECT_EQ(nops, 10u);
+}
+
+TEST(CodegenTest, SelfLoopBlockJumpsToItself) {
+  Rng rng(10);
+  Codegen gen(rng);
+  gen.emit_self_loop_block(2);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const LiftedCfg cfg = lift_program(program);
+  bool self_loop = false;
+  for (const CfgEdge& e : cfg.edges()) {
+    if (e.src == e.dst) self_loop = true;
+  }
+  EXPECT_TRUE(self_loop);
+}
+
+TEST(CodegenTest, CodeManipulationDetected) {
+  Rng rng(11);
+  Codegen gen(rng);
+  gen.emit_code_manipulation("ds:Sleep", "ebp+var_EC.hProcess");
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const auto hits = detect_patterns(program.instructions());
+  bool found = false;
+  for (const auto& hit : hits) {
+    if (hit.pattern == MalwarePattern::CodeManipulation) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CodegenTest, CodeManipulationPopVariant) {
+  Rng rng(12);
+  Codegen gen(rng);
+  gen.emit_code_manipulation("sub_414120", "");
+  gen.builder().ret();
+  const Program program = gen.finish();
+  bool pop_eax = false;
+  for (std::size_t i = 1; i < program.size(); ++i) {
+    const Instruction& prev = program.instructions()[i - 1];
+    const Instruction& curr = program.instructions()[i];
+    if (prev.is_call() && curr.opcode == Opcode::Pop &&
+        curr.touches_register(Register::Eax)) {
+      pop_eax = true;
+    }
+  }
+  EXPECT_TRUE(pop_eax);
+}
+
+TEST(CodegenTest, ApiChainCallsEveryApi) {
+  Rng rng(13);
+  Codegen gen(rng);
+  static constexpr std::array apis = {"ds:CreateThread", "ds:ReadFile",
+                                      "ds:send"};
+  gen.emit_api_chain(apis);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  std::size_t call_count = 0;
+  for (const Instruction& instr : program.instructions()) {
+    if (instr.is_call()) ++call_count;
+  }
+  EXPECT_EQ(call_count, 3u);
+  ASSERT_EQ(gen.planted_ranges().size(), 1u);
+}
+
+TEST(CodegenTest, DispatcherFansOut) {
+  Rng rng(14);
+  Codegen gen(rng);
+  gen.emit_dispatcher(5);
+  gen.builder().ret();
+  const Program program = gen.finish();
+  const LiftedCfg cfg = lift_program(program);
+  // 5 compare blocks + default jump + 5 cases + exit: comfortably > 8.
+  EXPECT_GE(cfg.block_count(), 8u);
+  std::size_t compares = 0;
+  for (const Instruction& instr : program.instructions()) {
+    if (instr.opcode == Opcode::Cmp) ++compares;
+  }
+  EXPECT_GE(compares, 5u);
+}
+
+TEST(CodegenTest, PlantedRangesAreOrderedAndDisjoint) {
+  Rng rng(15);
+  Codegen gen(rng);
+  gen.emit_xor_decoder_loop(0x11, false);
+  gen.emit_compute(3);
+  gen.emit_semantic_nop_sled(4);
+  gen.builder().ret();
+  const auto& ranges = gen.planted_ranges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_LT(ranges[0].first, ranges[0].second);
+  EXPECT_LE(ranges[0].second, ranges[1].first);
+  EXPECT_LT(ranges[1].first, ranges[1].second);
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,185 @@
+#include "dataset/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cfgx {
+namespace {
+
+CorpusConfig tiny_config() {
+  CorpusConfig config;
+  config.samples_per_family = 3;
+  config.seed = 99;
+  return config;
+}
+
+TEST(CorpusTest, BalancedAcrossFamilies) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  EXPECT_EQ(corpus.size(), 3 * kFamilyCount);
+  for (Family family : kAllFamilies) {
+    EXPECT_EQ(corpus.indices_of(family).size(), 3u) << to_string(family);
+  }
+}
+
+TEST(CorpusTest, ZeroSamplesThrows) {
+  CorpusConfig config;
+  config.samples_per_family = 0;
+  EXPECT_THROW(generate_corpus(config), std::invalid_argument);
+}
+
+TEST(CorpusTest, DeterministicAcrossRuns) {
+  const Corpus a = generate_corpus(tiny_config());
+  const Corpus b = generate_corpus(tiny_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i), b.graph(i));
+  }
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  CorpusConfig other = tiny_config();
+  other.seed = 100;
+  const Corpus a = generate_corpus(tiny_config());
+  const Corpus b = generate_corpus(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.graph(i) == b.graph(i))) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CorpusTest, SampleSeedsAreDistinct) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    seeds.insert(corpus.sample_seed(i));
+  }
+  EXPECT_EQ(seeds.size(), corpus.size());
+}
+
+TEST(CorpusTest, RegenerateReproducesGraphStructure) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  const std::size_t index = 7;
+  const GeneratedSample sample = regenerate_sample(corpus, index);
+  // Re-lifting the regenerated program must give back the stored ACFG.
+  Rng rng(corpus.sample_seed(index));
+  const Acfg rebuilt = generate_acfg(
+      family_from_label(corpus.graph(index).label()), rng,
+      corpus.config().generator);
+  EXPECT_EQ(rebuilt, corpus.graph(index));
+  EXPECT_FALSE(sample.program.empty());
+}
+
+TEST(StratifiedSplitTest, PartitionIsExactAndStratified) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  const Split split = stratified_split(corpus, 2.0 / 3.0, 5);
+  EXPECT_EQ(split.train.size() + split.test.size(), corpus.size());
+
+  // No overlap.
+  std::set<std::size_t> train(split.train.begin(), split.train.end());
+  for (std::size_t i : split.test) EXPECT_FALSE(train.count(i));
+
+  // Exactly 2 train / 1 test per family.
+  for (Family family : kAllFamilies) {
+    std::size_t train_count = 0;
+    for (std::size_t i : split.train) {
+      if (corpus.graph(i).label() == family_label(family)) ++train_count;
+    }
+    EXPECT_EQ(train_count, 2u) << to_string(family);
+  }
+}
+
+TEST(StratifiedSplitTest, BadFractionThrows) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  EXPECT_THROW(stratified_split(corpus, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_split(corpus, 1.0, 1), std::invalid_argument);
+}
+
+TEST(StratifiedSplitTest, SeedChangesAssignment) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  const Split a = stratified_split(corpus, 2.0 / 3.0, 1);
+  const Split b = stratified_split(corpus, 2.0 / 3.0, 2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(FeatureScalerTest, TransformStandardizesTrainData) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  std::vector<std::size_t> all(corpus.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  FeatureScaler scaler;
+  scaler.fit(corpus, all);
+  ASSERT_TRUE(scaler.fitted());
+
+  // Aggregate transformed mean per column ~ 0, stddev ~ 1.
+  std::vector<double> mean(kAcfgFeatureCount, 0.0);
+  std::vector<double> var(kAcfgFeatureCount, 0.0);
+  std::size_t rows = 0;
+  for (std::size_t i : all) {
+    const Matrix t = scaler.transform(corpus.graph(i).features());
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      for (std::size_t c = 0; c < t.cols(); ++c) mean[c] += t(r, c);
+    }
+    rows += t.rows();
+  }
+  for (double& m : mean) m /= static_cast<double>(rows);
+  for (std::size_t i : all) {
+    const Matrix t = scaler.transform(corpus.graph(i).features());
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      for (std::size_t c = 0; c < t.cols(); ++c) {
+        var[c] += (t(r, c) - mean[c]) * (t(r, c) - mean[c]);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < kAcfgFeatureCount; ++c) {
+    EXPECT_NEAR(mean[c], 0.0, 1e-9) << "column " << c;
+    // Constant raw columns (raw stddev 0) pass through unscaled and keep
+    // zero variance; all others must standardize to unit variance.
+    const double v = var[c] / static_cast<double>(rows);
+    EXPECT_TRUE(std::abs(v - 1.0) < 1e-6 || v < 1e-12) << "column " << c
+                                                       << " var " << v;
+  }
+}
+
+TEST(FeatureScalerTest, UnfittedTransformThrows) {
+  FeatureScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(2, kAcfgFeatureCount)), std::logic_error);
+}
+
+TEST(FeatureScalerTest, ColumnMismatchThrows) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  std::vector<std::size_t> all(corpus.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  FeatureScaler scaler;
+  scaler.fit(corpus, all);
+  EXPECT_THROW(scaler.transform(Matrix(2, 5)), std::invalid_argument);
+}
+
+TEST(FeatureScalerTest, EmptyFitThrows) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  FeatureScaler scaler;
+  EXPECT_THROW(scaler.fit(corpus, {}), std::invalid_argument);
+}
+
+TEST(FeatureScalerTest, MatrixRoundTrip) {
+  const Corpus corpus = generate_corpus(tiny_config());
+  std::vector<std::size_t> all(corpus.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  FeatureScaler scaler;
+  scaler.fit(corpus, all);
+
+  const FeatureScaler restored = FeatureScaler::from_matrix(scaler.to_matrix());
+  const Matrix x = corpus.graph(0).features();
+  EXPECT_TRUE(approx_equal(scaler.transform(x), restored.transform(x), 1e-12));
+}
+
+TEST(FeatureScalerTest, FromMatrixValidation) {
+  EXPECT_THROW(FeatureScaler::from_matrix(Matrix(3, 4)), std::invalid_argument);
+  Matrix bad(2, 2, 1.0);
+  bad(1, 0) = -1.0;  // non-positive stddev
+  EXPECT_THROW(FeatureScaler::from_matrix(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cfgx

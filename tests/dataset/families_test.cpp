@@ -1,0 +1,57 @@
+#include "dataset/families.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+TEST(FamiliesTest, TwelveFamilies) {
+  EXPECT_EQ(kFamilyCount, 12u);
+  EXPECT_EQ(kAllFamilies.size(), 12u);
+}
+
+TEST(FamiliesTest, NamesMatchPaper) {
+  EXPECT_STREQ(to_string(Family::Bagle), "Bagle");
+  EXPECT_STREQ(to_string(Family::Bifrose), "Bifrose");
+  EXPECT_STREQ(to_string(Family::Hupigon), "Hupigon");
+  EXPECT_STREQ(to_string(Family::Ldpinch), "Ldpinch");
+  EXPECT_STREQ(to_string(Family::Lmir), "Lmir");
+  EXPECT_STREQ(to_string(Family::Rbot), "Rbot");
+  EXPECT_STREQ(to_string(Family::Sdbot), "Sdbot");
+  EXPECT_STREQ(to_string(Family::Swizzor), "Swizzor");
+  EXPECT_STREQ(to_string(Family::Vundo), "Vundo");
+  EXPECT_STREQ(to_string(Family::Zbot), "Zbot");
+  EXPECT_STREQ(to_string(Family::Zlob), "Zlob");
+  EXPECT_STREQ(to_string(Family::Benign), "Benign");
+}
+
+TEST(FamiliesTest, RoundTripThroughString) {
+  for (Family family : kAllFamilies) {
+    EXPECT_EQ(family_from_string(to_string(family)), family);
+  }
+}
+
+TEST(FamiliesTest, UnknownNameThrows) {
+  EXPECT_THROW(family_from_string("NotAFamily"), std::invalid_argument);
+  EXPECT_THROW(family_from_string("bagle"), std::invalid_argument);  // case
+}
+
+TEST(FamiliesTest, LabelRoundTrip) {
+  for (Family family : kAllFamilies) {
+    EXPECT_EQ(family_from_label(family_label(family)), family);
+  }
+}
+
+TEST(FamiliesTest, LabelOutOfRangeThrows) {
+  EXPECT_THROW(family_from_label(-1), std::invalid_argument);
+  EXPECT_THROW(family_from_label(12), std::invalid_argument);
+}
+
+TEST(FamiliesTest, LabelsAreDense) {
+  for (std::size_t i = 0; i < kFamilyCount; ++i) {
+    EXPECT_EQ(family_label(kAllFamilies[i]), static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,146 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/lifter.hpp"
+#include "isa/patterns.hpp"
+
+namespace cfgx {
+namespace {
+
+class PerFamilyGenerator : public ::testing::TestWithParam<Family> {};
+
+TEST_P(PerFamilyGenerator, ProgramValidatesAndLifts) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const GeneratedSample sample = generate_program(GetParam(), rng);
+  EXPECT_NO_THROW(sample.program.validate());
+  const LiftedCfg cfg = lift_program(sample.program);
+  EXPECT_GT(cfg.block_count(), 10u);
+}
+
+TEST_P(PerFamilyGenerator, DeterministicGivenSeed) {
+  Rng rng_a(777), rng_b(777);
+  const GeneratedSample a = generate_program(GetParam(), rng_a);
+  const GeneratedSample b = generate_program(GetParam(), rng_b);
+  EXPECT_EQ(a.program.instructions(), b.program.instructions());
+  EXPECT_EQ(a.planted, b.planted);
+}
+
+TEST_P(PerFamilyGenerator, DifferentSeedsGiveDifferentPrograms) {
+  Rng rng_a(1), rng_b(2);
+  const GeneratedSample a = generate_program(GetParam(), rng_a);
+  const GeneratedSample b = generate_program(GetParam(), rng_b);
+  EXPECT_NE(a.program.instructions(), b.program.instructions());
+}
+
+TEST_P(PerFamilyGenerator, AcfgHasLabelFamilyAndFeatures) {
+  Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const Acfg graph = generate_acfg(GetParam(), rng);
+  EXPECT_EQ(graph.label(), family_label(GetParam()));
+  EXPECT_EQ(graph.family(), to_string(GetParam()));
+  EXPECT_EQ(graph.feature_count(), kAcfgFeatureCount);
+  EXPECT_NO_THROW(graph.validate());
+  // Feature counts are non-negative integers.
+  for (std::size_t i = 0; i < graph.features().size(); ++i) {
+    EXPECT_GE(graph.features().data()[i], 0.0);
+  }
+}
+
+TEST_P(PerFamilyGenerator, MalwareHasPlantsBenignDoesNot) {
+  Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const Acfg graph = generate_acfg(GetParam(), rng);
+  if (GetParam() == Family::Benign) {
+    EXPECT_TRUE(graph.planted_nodes().empty());
+  } else {
+    EXPECT_FALSE(graph.planted_nodes().empty());
+    // Plants are a strict minority: explanations have something to find.
+    EXPECT_LT(graph.planted_nodes().size(), graph.num_nodes());
+  }
+}
+
+TEST_P(PerFamilyGenerator, GraphIsConnectedViaEntryCalls) {
+  Rng rng(400 + static_cast<std::uint64_t>(GetParam()));
+  const Acfg graph = generate_acfg(GetParam(), rng);
+  // The entry block calls every function, so there must be call edges.
+  std::size_t call_edges = 0;
+  for (const Edge& e : graph.edges()) {
+    if (e.kind == EdgeKind::Call) ++call_edges;
+  }
+  EXPECT_GT(call_edges, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PerFamilyGenerator,
+                         ::testing::ValuesIn(kAllFamilies),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(GeneratorTest, PlantedBlocksContainFamilyPatterns) {
+  // The planted blocks of a Vundo sample must actually contain the
+  // XOR-obfuscation / NOP patterns the family recipe promises.
+  Rng rng(55);
+  const GeneratedSample sample = generate_program(Family::Vundo, rng);
+  const LiftedCfg cfg = lift_program(sample.program);
+
+  std::vector<std::uint32_t> planted_blocks;
+  for (const InstrRange& range : sample.planted) {
+    for (std::size_t i = range.first; i < range.second; ++i) {
+      const std::uint32_t block = cfg.block_of_instruction(i);
+      if (planted_blocks.empty() || planted_blocks.back() != block) {
+        planted_blocks.push_back(block);
+      }
+    }
+  }
+  const PatternReport report = analyze_blocks(cfg, planted_blocks);
+  EXPECT_GT(report.pattern_counts.count(MalwarePattern::XorObfuscation), 0u);
+  EXPECT_GT(report.pattern_counts.count(MalwarePattern::SemanticNop), 0u);
+}
+
+TEST(GeneratorTest, LdpinchPlantsCredentialTheftApis) {
+  Rng rng(56);
+  const GeneratedSample sample = generate_program(Family::Ldpinch, rng);
+  const LiftedCfg cfg = lift_program(sample.program);
+  std::vector<std::uint32_t> all_blocks(cfg.block_count());
+  for (std::uint32_t i = 0; i < cfg.block_count(); ++i) all_blocks[i] = i;
+  const PatternReport report = analyze_blocks(cfg, all_blocks);
+  EXPECT_TRUE(report.apis_by_behavior.count(ApiBehavior::ThreadCreation));
+  EXPECT_TRUE(report.apis_by_behavior.count(ApiBehavior::Pipe));
+  EXPECT_TRUE(report.apis_by_behavior.count(ApiBehavior::Network));
+}
+
+TEST(GeneratorTest, InconsistentConfigThrows) {
+  Rng rng(1);
+  GeneratorConfig config;
+  config.min_benign_functions = 5;
+  config.max_benign_functions = 3;
+  EXPECT_THROW(generate_program(Family::Bagle, rng, config),
+               std::invalid_argument);
+  GeneratorConfig zero;
+  zero.min_benign_functions = 0;
+  EXPECT_THROW(generate_program(Family::Bagle, rng, zero),
+               std::invalid_argument);
+}
+
+TEST(GeneratorTest, GraphSizesFallInExpectedBand) {
+  Rng rng(57);
+  for (Family family : kAllFamilies) {
+    const Acfg graph = generate_acfg(family, rng);
+    EXPECT_GE(graph.num_nodes(), 15u) << to_string(family);
+    EXPECT_LE(graph.num_nodes(), 400u) << to_string(family);
+  }
+}
+
+TEST(GeneratorTest, FamiliesDifferStructurally) {
+  // Aggregate node counts across a few samples; Swizzor (deep call chains)
+  // should produce more blocks than the minimal Hupigon recipe on average.
+  double swizzor = 0.0, hupigon = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    Rng rng_s(1000 + i), rng_h(2000 + i);
+    swizzor += generate_acfg(Family::Swizzor, rng_s).num_nodes();
+    hupigon += generate_acfg(Family::Hupigon, rng_h).num_nodes();
+  }
+  EXPECT_GT(swizzor, hupigon);
+}
+
+}  // namespace
+}  // namespace cfgx

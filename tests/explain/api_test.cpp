@@ -1,0 +1,63 @@
+#include "explain/explainer_api.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+namespace cfgx {
+namespace {
+
+TEST(NodeRankingTest, TopFractionTakesPrefix) {
+  NodeRanking ranking;
+  ranking.order = {4, 2, 0, 1, 3};
+  const auto top40 = ranking.top_fraction(0.4);
+  ASSERT_EQ(top40.size(), 2u);
+  EXPECT_EQ(top40[0], 4u);
+  EXPECT_EQ(top40[1], 2u);
+}
+
+TEST(NodeRankingTest, TopFractionAtLeastOneNode) {
+  NodeRanking ranking;
+  ranking.order = {7, 8, 9};
+  EXPECT_EQ(ranking.top_fraction(0.01).size(), 1u);
+  EXPECT_EQ(ranking.top_fraction(1.0).size(), 3u);
+}
+
+TEST(RankingFromScoresTest, DescendingWithStableTies) {
+  const NodeRanking ranking = ranking_from_scores({0.3, 0.9, 0.3, 0.1});
+  ASSERT_EQ(ranking.order.size(), 4u);
+  EXPECT_EQ(ranking.order[0], 1u);
+  EXPECT_EQ(ranking.order[1], 0u);  // tie with node 2, lower index first
+  EXPECT_EQ(ranking.order[2], 2u);
+  EXPECT_EQ(ranking.order[3], 3u);
+}
+
+TEST(EdgeToNodeScoresTest, MaxIncidentWins) {
+  Acfg graph(4);
+  graph.add_edge(0, 1, EdgeKind::Flow);  // edge 0
+  graph.add_edge(1, 2, EdgeKind::Flow);  // edge 1
+  const auto node_scores = node_scores_from_edge_scores(graph, {0.2, 0.8});
+  EXPECT_DOUBLE_EQ(node_scores[0], 0.2);
+  EXPECT_DOUBLE_EQ(node_scores[1], 0.8);  // max(0.2, 0.8)
+  EXPECT_DOUBLE_EQ(node_scores[2], 0.8);
+  // Node 3 is isolated: -inf sorts to the very end.
+  EXPECT_TRUE(std::isinf(node_scores[3]));
+  EXPECT_LT(node_scores[3], 0.0);
+}
+
+TEST(EdgeToNodeScoresTest, ArityMismatchThrows) {
+  Acfg graph(2);
+  graph.add_edge(0, 1, EdgeKind::Flow);
+  EXPECT_THROW(node_scores_from_edge_scores(graph, {0.1, 0.2}),
+               std::invalid_argument);
+}
+
+TEST(EdgeToNodeScoresTest, IsolatedNodesRankLast) {
+  Acfg graph(3);
+  graph.add_edge(0, 1, EdgeKind::Flow);
+  const auto ranking =
+      ranking_from_scores(node_scores_from_edge_scores(graph, {0.5}));
+  EXPECT_EQ(ranking.order.back(), 2u);
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,102 @@
+#include "explain/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "explain/baselines.hpp"
+
+namespace cfgx {
+namespace {
+
+Corpus tiny_corpus() {
+  CorpusConfig config;
+  config.samples_per_family = 2;
+  config.seed = 3;
+  return generate_corpus(config);
+}
+
+TEST(ExplainBatchTest, MatchesSerialExecution) {
+  const Corpus corpus = tiny_corpus();
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < corpus.size(); ++i) indices.push_back(i);
+
+  ThreadPool pool(4);
+  const auto parallel = explain_batch(
+      corpus, indices, pool, [] { return std::make_unique<RandomExplainer>(9); });
+
+  RandomExplainer serial(9);
+  ASSERT_EQ(parallel.size(), indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(parallel[i].order, serial.explain(corpus.graph(indices[i])).order)
+        << "graph " << i;
+  }
+}
+
+TEST(ExplainBatchTest, ResultsAlignedWithInputOrder) {
+  const Corpus corpus = tiny_corpus();
+  std::vector<std::size_t> indices{5, 0, 11};
+  ThreadPool pool(2);
+  const auto rankings = explain_batch(
+      corpus, indices, pool, [] { return std::make_unique<DegreeExplainer>(); });
+  ASSERT_EQ(rankings.size(), 3u);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(rankings[i].order.size(), corpus.graph(indices[i]).num_nodes());
+  }
+}
+
+TEST(ExplainBatchTest, EmptyInputGivesEmptyOutput) {
+  ThreadPool pool(2);
+  const auto rankings = explain_batch(
+      std::vector<const Acfg*>{}, pool,
+      [] { return std::make_unique<DegreeExplainer>(); });
+  EXPECT_TRUE(rankings.empty());
+}
+
+TEST(ExplainBatchTest, NullGraphThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(explain_batch(std::vector<const Acfg*>{nullptr}, pool,
+                             [] { return std::make_unique<DegreeExplainer>(); }),
+               std::invalid_argument);
+}
+
+TEST(ExplainBatchTest, NullFactoryResultThrows) {
+  const Corpus corpus = tiny_corpus();
+  ThreadPool pool(2);
+  EXPECT_THROW(explain_batch(corpus, {0}, pool,
+                             []() -> std::unique_ptr<Explainer> { return nullptr; }),
+               std::logic_error);
+}
+
+TEST(ExplainBatchTest, ExplainerExceptionPropagates) {
+  class ThrowingExplainer : public Explainer {
+   public:
+    std::string name() const override { return "Throwing"; }
+    NodeRanking explain(const Acfg&) override {
+      throw std::runtime_error("boom");
+    }
+  };
+  const Corpus corpus = tiny_corpus();
+  ThreadPool pool(2);
+  EXPECT_THROW(explain_batch(corpus, {0, 1}, pool,
+                             [] { return std::make_unique<ThrowingExplainer>(); }),
+               std::runtime_error);
+}
+
+TEST(ExplainBatchTest, FactoryCalledAtMostOncePerWorker) {
+  const Corpus corpus = tiny_corpus();
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < corpus.size(); ++i) indices.push_back(i);
+
+  std::atomic<int> constructions{0};
+  ThreadPool pool(3);
+  explain_batch(corpus, indices, pool, [&] {
+    ++constructions;
+    return std::make_unique<DegreeExplainer>();
+  });
+  EXPECT_LE(constructions.load(), 3);
+  EXPECT_GE(constructions.load(), 1);
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,144 @@
+#include "gnn/gcn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "graph/ops.hpp"
+
+namespace cfgx {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+Matrix random_a_hat(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  // Ring backbone keeps every node active: an isolated node would sit at
+  // the ReLU kink (preactivation exactly 0 with zero bias), where finite
+  // differences are undefined.
+  for (std::size_t i = 0; i < n; ++i) a(i, (i + 1) % n) = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.3)) a(i, j) = 1.0;
+    }
+  }
+  return normalized_adjacency(a);
+}
+
+double scalarize(const Matrix& out, const Matrix& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) acc += out.data()[i] * w.data()[i];
+  return acc;
+}
+
+TEST(GcnLayerTest, InferMatchesForward) {
+  Rng rng(1);
+  GcnLayer layer(4, 3, rng);
+  const Matrix a_hat = random_a_hat(5, rng);
+  const Matrix h = random_matrix(5, 4, rng);
+  EXPECT_TRUE(approx_equal(layer.infer(a_hat, h), layer.forward(a_hat, h), 1e-12));
+}
+
+TEST(GcnLayerTest, OutputIsNonNegative) {
+  Rng rng(2);
+  GcnLayer layer(4, 6, rng);
+  const Matrix out = layer.forward(random_a_hat(7, rng), random_matrix(7, 4, rng));
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_GE(out.data()[i], 0.0);
+}
+
+TEST(GcnLayerTest, IsolatedNodeRowProducesBiasOnlyOutput) {
+  Rng rng(3);
+  GcnLayer layer(2, 2, rng);
+  Matrix a_hat(3, 3);          // node 2 fully masked (zero row/col)
+  a_hat(0, 0) = a_hat(1, 1) = 0.5;
+  a_hat(0, 1) = a_hat(1, 0) = 0.5;
+  const Matrix h = random_matrix(3, 2, rng);
+  const Matrix out = layer.forward(a_hat, h);
+  // Row 2: ReLU(0 + b).
+  for (std::size_t c = 0; c < 2; ++c) {
+    const double expected = std::max(0.0, layer.parameters()[1]->value(0, c));
+    EXPECT_NEAR(out(2, c), expected, 1e-12);
+  }
+}
+
+TEST(GcnLayerTest, InputGradientMatchesNumeric) {
+  Rng rng(4);
+  GcnLayer layer(3, 4, rng);
+  const Matrix a_hat = random_a_hat(5, rng);
+  Matrix h = random_matrix(5, 3, rng);
+  const Matrix w = random_matrix(5, 4, rng);
+
+  layer.zero_grad();
+  layer.forward(a_hat, h);
+  const Matrix analytic = layer.backward(w);
+  const auto result = check_gradient_against(
+      h, analytic, [&] { return scalarize(layer.infer(a_hat, h), w); });
+  EXPECT_TRUE(result.passed(1e-5)) << result.max_rel_error;
+}
+
+TEST(GcnLayerTest, WeightGradientsMatchNumeric) {
+  Rng rng(5);
+  GcnLayer layer(3, 2, rng);
+  const Matrix a_hat = random_a_hat(4, rng);
+  const Matrix h = random_matrix(4, 3, rng);
+  const Matrix w = random_matrix(4, 2, rng);
+
+  layer.zero_grad();
+  layer.forward(a_hat, h);
+  layer.backward(w);
+
+  for (Parameter* param : layer.parameters()) {
+    const Matrix analytic = param->grad;
+    const auto result = check_gradient_against(
+        param->value, analytic,
+        [&] { return scalarize(layer.infer(a_hat, h), w); });
+    EXPECT_TRUE(result.passed(1e-5))
+        << param->name << " rel err " << result.max_rel_error;
+  }
+}
+
+TEST(GcnLayerTest, AdjacencyGradientMatchesNumeric) {
+  Rng rng(6);
+  GcnLayer layer(3, 2, rng);
+  Matrix a_hat = random_a_hat(4, rng);
+  const Matrix h = random_matrix(4, 3, rng);
+  const Matrix w = random_matrix(4, 2, rng);
+
+  layer.zero_grad();
+  layer.forward(a_hat, h);
+  Matrix grad_a(4, 4);
+  layer.backward(w, &grad_a);
+
+  const auto result = check_gradient_against(
+      a_hat, grad_a, [&] { return scalarize(layer.infer(a_hat, h), w); });
+  EXPECT_TRUE(result.passed(1e-5)) << result.max_rel_error;
+}
+
+TEST(GcnLayerTest, GradientsAccumulate) {
+  Rng rng(7);
+  GcnLayer layer(2, 2, rng);
+  const Matrix a_hat = random_a_hat(3, rng);
+  const Matrix h = random_matrix(3, 2, rng);
+  const Matrix w(3, 2, 1.0);
+
+  layer.zero_grad();
+  layer.forward(a_hat, h);
+  layer.backward(w);
+  const Matrix once = layer.parameters()[0]->grad;
+  layer.forward(a_hat, h);
+  layer.backward(w);
+  EXPECT_TRUE(approx_equal(layer.parameters()[0]->grad, once * 2.0, 1e-10));
+}
+
+TEST(GcnLayerTest, DimensionsExposed) {
+  Rng rng(8);
+  GcnLayer layer(12, 64, rng);
+  EXPECT_EQ(layer.in_features(), 12u);
+  EXPECT_EQ(layer.out_features(), 64u);
+}
+
+}  // namespace
+}  // namespace cfgx

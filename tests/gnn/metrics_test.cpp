@@ -1,0 +1,94 @@
+#include "gnn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+TEST(ConfusionMatrixTest, ZeroClassesThrows) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, AccuracyOfPerfectPredictor) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_EQ(cm.total(), 3u);
+}
+
+TEST(ConfusionMatrixTest, MixedAccuracy) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 1.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 0.0);
+}
+
+TEST(ConfusionMatrixTest, OutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, 2), std::out_of_range);
+}
+
+TEST(ConfusionMatrixTest, CountsStored) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  cm.add(0, 1);
+  EXPECT_EQ(cm.count(0, 1), 2u);
+  EXPECT_EQ(cm.count(1, 0), 0u);
+}
+
+TEST(ConfusionMatrixTest, ToStringUsesClassNames) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const std::string text = cm.to_string({"Bagle", "Zlob"});
+  EXPECT_NE(text.find("Bagle"), std::string::npos);
+  EXPECT_NE(text.find("Zlob"), std::string::npos);
+}
+
+TEST(CurveAucTest, ConstantCurve) {
+  EXPECT_NEAR(curve_auc({0.1, 0.5, 1.0}, {0.8, 0.8, 0.8}), 0.8, 1e-12);
+}
+
+TEST(CurveAucTest, LinearRamp) {
+  // y = x on [0, 1]: normalized AUC = 0.5.
+  EXPECT_NEAR(curve_auc({0.0, 0.5, 1.0}, {0.0, 0.5, 1.0}), 0.5, 1e-12);
+}
+
+TEST(CurveAucTest, PaperStyleGrid) {
+  // Accuracy 1.0 at every subgraph size from 10% to 100% -> AUC 1.0.
+  std::vector<double> x, y;
+  for (int k = 1; k <= 10; ++k) {
+    x.push_back(k / 10.0);
+    y.push_back(1.0);
+  }
+  EXPECT_NEAR(curve_auc(x, y), 1.0, 1e-12);
+}
+
+TEST(CurveAucTest, HigherCurveGivesHigherAuc) {
+  const std::vector<double> x{0.1, 0.4, 0.7, 1.0};
+  const double low = curve_auc(x, {0.1, 0.2, 0.3, 0.9});
+  const double high = curve_auc(x, {0.6, 0.7, 0.8, 0.9});
+  EXPECT_GT(high, low);
+}
+
+TEST(CurveAucTest, ValidationErrors) {
+  EXPECT_THROW(curve_auc({0.1}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(curve_auc({0.1, 0.2}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(curve_auc({0.2, 0.1}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(curve_auc({0.1, 0.1}, {0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cfgx

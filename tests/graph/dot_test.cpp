@@ -1,0 +1,106 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+#include <fstream>
+
+namespace cfgx {
+namespace {
+
+Acfg small_graph() {
+  Acfg graph(3);
+  graph.add_edge(0, 1, EdgeKind::Flow);
+  graph.add_edge(1, 2, EdgeKind::Call);
+  return graph;
+}
+
+TEST(DotExportTest, ContainsDigraphStructure) {
+  const std::string dot = to_dot(small_graph());
+  EXPECT_NE(dot.find("digraph acfg {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, CallEdgesStyled) {
+  const std::string dot = to_dot(small_graph());
+  const std::size_t call_pos = dot.find("n1 -> n2");
+  ASSERT_NE(call_pos, std::string::npos);
+  EXPECT_NE(dot.find("style=dashed", call_pos), std::string::npos);
+  EXPECT_NE(dot.find("label=\"call\"", call_pos), std::string::npos);
+}
+
+TEST(DotExportTest, CallStylingCanBeDisabled) {
+  DotOptions options;
+  options.style_call_edges = false;
+  const std::string dot = to_dot(small_graph(), options);
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExportTest, HighlightedNodesFilled) {
+  DotOptions options;
+  options.highlighted_nodes = {1};
+  const std::string dot = to_dot(small_graph(), options);
+  const std::size_t n1 = dot.find("n1 [");
+  ASSERT_NE(n1, std::string::npos);
+  const std::size_t n1_end = dot.find('\n', n1);
+  EXPECT_NE(dot.substr(n1, n1_end - n1).find("fillcolor"), std::string::npos);
+  const std::size_t n0 = dot.find("n0 [");
+  const std::size_t n0_end = dot.find('\n', n0);
+  EXPECT_EQ(dot.substr(n0, n0_end - n0).find("fillcolor"), std::string::npos);
+}
+
+TEST(DotExportTest, HighlightOutOfRangeThrows) {
+  DotOptions options;
+  options.highlighted_nodes = {7};
+  EXPECT_THROW(to_dot(small_graph(), options), std::out_of_range);
+}
+
+TEST(DotExportTest, CustomLabelsUsedAndEscaped) {
+  DotOptions options;
+  options.node_label = [](std::uint32_t node) {
+    return node == 0 ? std::string("push \"str\"\nret") : std::string("plain");
+  };
+  const std::string dot = to_dot(small_graph(), options);
+  EXPECT_NE(dot.find("push \\\"str\\\"\\lret"), std::string::npos);
+  EXPECT_NE(dot.find("plain"), std::string::npos);
+}
+
+TEST(DotExportTest, LabelsTruncated) {
+  DotOptions options;
+  options.max_label_length = 5;
+  options.node_label = [](std::uint32_t) { return std::string(100, 'x'); };
+  const std::string dot = to_dot(small_graph(), options);
+  EXPECT_NE(dot.find("xxxxx..."), std::string::npos);
+  EXPECT_EQ(dot.find(std::string(10, 'x')), std::string::npos);
+}
+
+TEST(DotExportTest, GraphNameConfigurable) {
+  DotOptions options;
+  options.graph_name = "sample42";
+  const std::string dot = to_dot(small_graph(), options);
+  EXPECT_NE(dot.find("digraph sample42 {"), std::string::npos);
+}
+
+TEST(DotExportTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cfgx_graph.dot";
+  write_dot_file(path, small_graph());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, to_dot(small_graph()));
+}
+
+TEST(DotExportTest, WriteFileBadPathThrows) {
+  EXPECT_THROW(write_dot_file("/nonexistent/dir/x.dot", small_graph()),
+               std::runtime_error);
+}
+
+TEST(DotExportTest, EmptyGraphStillValid) {
+  const std::string dot = to_dot(Acfg(0));
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,103 @@
+#include "graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace cfgx {
+namespace {
+
+Acfg sample_graph() {
+  Acfg graph(4);
+  graph.add_edge(0, 1, EdgeKind::Flow);
+  graph.add_edge(1, 2, EdgeKind::Call);
+  graph.add_edge(2, 3, EdgeKind::Flow);
+  graph.set_label(3);
+  graph.set_family("Ldpinch");
+  graph.mark_planted(2);
+  Rng rng(9);
+  for (std::size_t i = 0; i < graph.features().size(); ++i) {
+    graph.features().data()[i] = std::floor(rng.uniform(0, 10));
+  }
+  return graph;
+}
+
+TEST(AcfgSerializeTest, RoundTripIsExact) {
+  const Acfg original = sample_graph();
+  std::stringstream buffer;
+  write_acfg(buffer, original);
+  const Acfg restored = read_acfg(buffer);
+  EXPECT_EQ(original, restored);
+}
+
+TEST(AcfgSerializeTest, EmptyEdgesRoundTrip) {
+  Acfg graph(2);
+  graph.set_label(0);
+  std::stringstream buffer;
+  write_acfg(buffer, graph);
+  const Acfg restored = read_acfg(buffer);
+  EXPECT_EQ(restored.num_edges(), 0u);
+  EXPECT_EQ(restored.num_nodes(), 2u);
+}
+
+TEST(AcfgSerializeTest, TruncatedStreamThrows) {
+  std::stringstream buffer;
+  write_acfg(buffer, sample_graph());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 8);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_acfg(truncated), SerializationError);
+}
+
+TEST(AcfgSerializeTest, InvalidEdgeKindThrows) {
+  std::stringstream buffer;
+  write_acfg(buffer, sample_graph());
+  std::string bytes = buffer.str();
+  // The edge kind byte of the first edge lives right after
+  // num_nodes(4) + num_edges(4) + src(4) + dst(4).
+  bytes[16] = 7;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_acfg(corrupted), SerializationError);
+}
+
+TEST(CollectionSerializeTest, RoundTrip) {
+  std::vector<Acfg> graphs{sample_graph(), sample_graph(), Acfg(1)};
+  graphs[2].set_label(0);
+  std::stringstream buffer;
+  write_acfg_collection(buffer, graphs);
+  const auto restored = read_acfg_collection(buffer);
+  ASSERT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored[0], graphs[0]);
+  EXPECT_EQ(restored[2].num_nodes(), 1u);
+}
+
+TEST(CollectionSerializeTest, EmptyCollection) {
+  std::stringstream buffer;
+  write_acfg_collection(buffer, {});
+  EXPECT_TRUE(read_acfg_collection(buffer).empty());
+}
+
+TEST(CollectionSerializeTest, BadMagicThrows) {
+  std::stringstream buffer("NOTMAGIC________");
+  EXPECT_THROW(read_acfg_collection(buffer), SerializationError);
+}
+
+TEST(CollectionSerializeTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cfgx_graphs.bin";
+  const std::vector<Acfg> graphs{sample_graph()};
+  save_acfg_collection_file(path, graphs);
+  const auto restored = load_acfg_collection_file(path);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0], graphs[0]);
+}
+
+TEST(CollectionSerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_acfg_collection_file("/nonexistent/graphs.bin"),
+               SerializationError);
+}
+
+}  // namespace
+}  // namespace cfgx

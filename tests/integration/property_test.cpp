@@ -1,0 +1,188 @@
+// Cross-module property tests: Algorithm-2 invariants over every family,
+// serialization robustness under random corruption, and end-to-end
+// determinism of the data pipeline.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/interpreter.hpp"
+#include "dataset/corpus.hpp"
+#include "gnn/classifier.hpp"
+#include "graph/ops.hpp"
+#include "graph/serialize.hpp"
+#include "isa/lifter.hpp"
+
+namespace cfgx {
+namespace {
+
+// ---------- Algorithm-2 invariants over every family ----------
+
+class InterpretationInvariants : public ::testing::TestWithParam<Family> {
+ protected:
+  InterpretationInvariants()
+      : rng_(static_cast<std::uint64_t>(GetParam()) * 101 + 5),
+        gnn_([this] {
+          GnnConfig config;
+          config.gcn_dims = {10, 8};
+          return GnnClassifier(config, rng_);
+        }()),
+        theta_([this] {
+          ExplainerModelConfig config;
+          config.embedding_dim = 8;
+          config.num_classes = kFamilyCount;
+          return ExplainerModel(config, rng_);
+        }()),
+        graph_(generate_acfg(GetParam(), rng_)) {}
+
+  Rng rng_;
+  GnnClassifier gnn_;
+  ExplainerModel theta_;
+  Acfg graph_;
+};
+
+TEST_P(InterpretationInvariants, OrderingIsPermutation) {
+  Interpreter interpreter(theta_, gnn_);
+  InterpretationConfig config;
+  config.keep_adjacency_snapshots = false;
+  const Interpretation result = interpreter.interpret(graph_, config);
+  std::set<std::uint32_t> unique(result.ordered_nodes.begin(),
+                                 result.ordered_nodes.end());
+  EXPECT_EQ(unique.size(), graph_.num_nodes());
+}
+
+TEST_P(InterpretationInvariants, SubgraphsNestedAndMonotone) {
+  Interpreter interpreter(theta_, gnn_);
+  InterpretationConfig config;
+  config.keep_adjacency_snapshots = false;
+  const Interpretation result = interpreter.interpret(graph_, config);
+  for (std::size_t k = 1; k < result.subgraph_nodes.size(); ++k) {
+    EXPECT_GT(result.subgraph_nodes[k].size(),
+              result.subgraph_nodes[k - 1].size() - 1);  // non-decreasing
+    std::set<std::uint32_t> larger(result.subgraph_nodes[k].begin(),
+                                   result.subgraph_nodes[k].end());
+    for (std::uint32_t v : result.subgraph_nodes[k - 1]) {
+      ASSERT_TRUE(larger.count(v));
+    }
+  }
+}
+
+TEST_P(InterpretationInvariants, MaskedEvaluationMatchesKeptSets) {
+  // keep_only of the k-th node set must leave exactly those nodes unmasked
+  // among nodes that had any connectivity or features.
+  Interpreter interpreter(theta_, gnn_);
+  InterpretationConfig config;
+  config.keep_adjacency_snapshots = false;
+  const Interpretation result = interpreter.interpret(graph_, config);
+  const Matrix adjacency = graph_.dense_adjacency();
+  const auto& kept = result.subgraph_nodes.front();
+  const MaskedGraph masked = keep_only(adjacency, graph_.features(), kept);
+  const std::set<std::uint32_t> kept_set(kept.begin(), kept.end());
+  for (std::uint32_t v = 0; v < graph_.num_nodes(); ++v) {
+    if (!kept_set.count(v)) {
+      EXPECT_TRUE(node_is_masked(masked.adjacency, v));
+      for (std::size_t c = 0; c < masked.features.cols(); ++c) {
+        EXPECT_DOUBLE_EQ(masked.features(v, c), 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, InterpretationInvariants,
+                         ::testing::ValuesIn(kAllFamilies),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---------- serialization robustness under random corruption ----------
+
+class CorruptionResistance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionResistance, GraphArchiveNeverCrashes) {
+  Rng rng(GetParam());
+  const Acfg graph = generate_acfg(Family::Zlob, rng);
+  std::stringstream buffer;
+  write_acfg_collection(buffer, {graph});
+  std::string bytes = buffer.str();
+
+  // Flip a handful of random bytes; the reader must either succeed (the
+  // corruption hit the feature payload, which has no validity constraint)
+  // or throw SerializationError / a validation exception — never crash.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string corrupted = bytes;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_index(corrupted.size());
+      corrupted[pos] = static_cast<char>(rng.uniform_index(256));
+    }
+    std::stringstream in(corrupted);
+    try {
+      const auto graphs = read_acfg_collection(in);
+      for (const Acfg& g : graphs) g.validate();
+    } catch (const SerializationError&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(CorruptionResistance, TruncationAlwaysThrows) {
+  Rng rng(GetParam() ^ 0x5555);
+  const Acfg graph = generate_acfg(Family::Bagle, rng);
+  std::stringstream buffer;
+  write_acfg_collection(buffer, {graph});
+  const std::string bytes = buffer.str();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Keep at least the magic but drop a random tail.
+    const std::size_t keep = 8 + rng.uniform_index(bytes.size() - 9);
+    std::stringstream in(bytes.substr(0, keep));
+    EXPECT_THROW(read_acfg_collection(in), SerializationError) << keep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionResistance,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------- pipeline determinism ----------
+
+TEST(PipelineDeterminism, CorpusGnnAndInterpretationBitStable) {
+  const auto build_and_interpret = [] {
+    CorpusConfig cc;
+    cc.samples_per_family = 2;
+    cc.seed = 77;
+    const Corpus corpus = generate_corpus(cc);
+    Rng rng(3);
+    GnnConfig gnn_config;
+    gnn_config.gcn_dims = {8, 6};
+    GnnClassifier gnn(gnn_config, rng);
+    ExplainerModelConfig theta_config;
+    theta_config.embedding_dim = 6;
+    theta_config.num_classes = kFamilyCount;
+    ExplainerModel theta(theta_config, rng);
+    Interpreter interpreter(theta, gnn);
+    InterpretationConfig ic;
+    ic.keep_adjacency_snapshots = false;
+    return interpreter.interpret(corpus.graph(5), ic).ordered_nodes;
+  };
+  EXPECT_EQ(build_and_interpret(), build_and_interpret());
+}
+
+TEST(PipelineDeterminism, RegeneratedProgramsLiftIdentically) {
+  CorpusConfig cc;
+  cc.samples_per_family = 2;
+  cc.seed = 99;
+  const Corpus corpus = generate_corpus(cc);
+  for (std::size_t index : {std::size_t{0}, std::size_t{7}, std::size_t{20}}) {
+    const GeneratedSample a = regenerate_sample(corpus, index);
+    const GeneratedSample b = regenerate_sample(corpus, index);
+    EXPECT_EQ(a.program.instructions(), b.program.instructions());
+    const LiftedCfg cfg = lift_program(a.program);
+    EXPECT_EQ(cfg.block_count(), corpus.graph(index).num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,133 @@
+#include "isa/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+double feature(const std::array<double, kAcfgFeatureCount>& f, AcfgFeature which) {
+  return f[static_cast<std::size_t>(which)];
+}
+
+TEST(BlockFeaturesTest, CountsByCategory) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Mov, Operand::make_reg(Register::Eax),
+                  Operand::make_imm(5)),
+      Instruction(Opcode::Add, Operand::make_reg(Register::Eax),
+                  Operand::make_imm(1)),
+      Instruction(Opcode::Cmp, Operand::make_reg(Register::Eax),
+                  Operand::make_imm(10)),
+      Instruction(Opcode::Jne, Operand::make_label("loop")),
+      Instruction(Opcode::Call, Operand::make_sym("ds:Sleep")),
+      Instruction(Opcode::Ret),
+  };
+  const auto f = block_features(block, 2);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::MovInstructions), 1.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::ArithmeticInstructions), 1.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::CompareInstructions), 1.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::TransferInstructions), 1.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::CallInstructions), 1.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::TerminationInstructions), 1.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::TotalInstructions), 6.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::Offspring), 2.0);
+}
+
+TEST(BlockFeaturesTest, NumericConstantsCountImmediates) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Mov, Operand::make_reg(Register::Eax),
+                  Operand::make_imm(5)),
+      Instruction(Opcode::Xor, Operand::make_reg(Register::Edx),
+                  Operand::make_imm(0x87BDC1D7)),
+      Instruction(Opcode::Push, Operand::make_imm(0)),
+  };
+  const auto f = block_features(block, 0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::NumericConstants), 3.0);
+}
+
+TEST(BlockFeaturesTest, StringConstantsCounted) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Push, Operand::make_string("cmd.exe")),
+      Instruction(Opcode::Push, Operand::make_string("explorer")),
+  };
+  const auto f = block_features(block, 0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::StringConstants), 2.0);
+}
+
+TEST(BlockFeaturesTest, DataDeclarationsExcludedFromInVertexCount) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Nop),
+      Instruction(Opcode::Db, Operand::make_imm(0x90)),
+      Instruction(Opcode::Dd, Operand::make_imm(0xdeadbeef)),
+  };
+  const auto f = block_features(block, 0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::DataDeclInstructions), 2.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::TotalInstructions), 3.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::InstructionsInVertex), 1.0);
+}
+
+TEST(BlockFeaturesTest, NopOnlyBumpsTotals) {
+  const std::vector<Instruction> block{Instruction(Opcode::Nop),
+                                       Instruction(Opcode::Nop)};
+  const auto f = block_features(block, 0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::TotalInstructions), 2.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::InstructionsInVertex), 2.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::MovInstructions), 0.0);
+  EXPECT_DOUBLE_EQ(feature(f, AcfgFeature::ArithmeticInstructions), 0.0);
+}
+
+TEST(ToAcfgTest, NodesMatchBlocksEdgesMatchCfg) {
+  ProgramBuilder b;
+  b.emit(Opcode::Cmp, Operand::make_reg(Register::Eax), Operand::make_imm(0));
+  b.jcc(Opcode::Je, "skip");   // block 0
+  b.emit(Opcode::Nop);         // block 1
+  b.label("skip");
+  b.ret();                     // block 2
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  const Acfg graph = to_acfg(cfg, 3, "Ldpinch");
+
+  EXPECT_EQ(graph.num_nodes(), cfg.block_count());
+  EXPECT_EQ(graph.num_edges(), cfg.edges().size());
+  EXPECT_EQ(graph.label(), 3);
+  EXPECT_EQ(graph.family(), "Ldpinch");
+}
+
+TEST(ToAcfgTest, OffspringEqualsOutDegree) {
+  ProgramBuilder b;
+  b.jcc(Opcode::Je, "a");      // block 0: 2 successors
+  b.emit(Opcode::Nop);         // block 1
+  b.label("a");
+  b.ret();                     // block 2
+  const Program program = b.build();
+  const Acfg graph = to_acfg(lift_program(program));
+  const auto degrees = graph.out_degrees();
+  for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(
+        graph.features()(n, static_cast<std::size_t>(AcfgFeature::Offspring)),
+        static_cast<double>(degrees[n]));
+  }
+}
+
+TEST(ToAcfgTest, FeatureRowsSumExceedsZeroForNonEmptyBlocks) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  b.ret();
+  const Program program = b.build();
+  const Acfg graph = to_acfg(lift_program(program));
+  for (std::uint32_t n = 0; n < graph.num_nodes(); ++n) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < graph.feature_count(); ++c) {
+      row_sum += graph.features()(n, c);
+    }
+    EXPECT_GT(row_sum, 0.0);
+  }
+}
+
+TEST(FeatureNamesTest, AllTwelveAreNamed) {
+  for (std::size_t i = 0; i < kAcfgFeatureCount; ++i) {
+    EXPECT_STRNE(feature_name(static_cast<AcfgFeature>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace cfgx

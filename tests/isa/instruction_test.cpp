@@ -1,0 +1,115 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+TEST(CategoryTest, MovFamily) {
+  for (Opcode op : {Opcode::Mov, Opcode::Movzx, Opcode::Lea, Opcode::Xchg,
+                    Opcode::Push, Opcode::Pop}) {
+    EXPECT_EQ(category_of(op), InstrCategory::Mov) << to_string(op);
+  }
+}
+
+TEST(CategoryTest, ArithmeticFamily) {
+  for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::Xor, Opcode::Shl,
+                    Opcode::Inc, Opcode::Neg, Opcode::Idiv}) {
+    EXPECT_EQ(category_of(op), InstrCategory::Arithmetic) << to_string(op);
+  }
+}
+
+TEST(CategoryTest, TransferCompareCallTermination) {
+  EXPECT_EQ(category_of(Opcode::Jmp), InstrCategory::Transfer);
+  EXPECT_EQ(category_of(Opcode::Jne), InstrCategory::Transfer);
+  EXPECT_EQ(category_of(Opcode::Loop), InstrCategory::Transfer);
+  EXPECT_EQ(category_of(Opcode::Cmp), InstrCategory::Compare);
+  EXPECT_EQ(category_of(Opcode::Test), InstrCategory::Compare);
+  EXPECT_EQ(category_of(Opcode::Call), InstrCategory::Call);
+  EXPECT_EQ(category_of(Opcode::Ret), InstrCategory::Termination);
+  EXPECT_EQ(category_of(Opcode::Hlt), InstrCategory::Termination);
+  EXPECT_EQ(category_of(Opcode::Db), InstrCategory::DataDecl);
+  EXPECT_EQ(category_of(Opcode::Nop), InstrCategory::Other);
+}
+
+TEST(InstructionTest, JumpPredicates) {
+  const Instruction jmp(Opcode::Jmp, Operand::make_label("loc_1"));
+  EXPECT_TRUE(jmp.is_jump());
+  EXPECT_TRUE(jmp.is_unconditional_jump());
+  const Instruction je(Opcode::Je, Operand::make_label("loc_1"));
+  EXPECT_TRUE(je.is_jump());
+  EXPECT_FALSE(je.is_unconditional_jump());
+  const Instruction mov(Opcode::Mov);
+  EXPECT_FALSE(mov.is_jump());
+}
+
+TEST(InstructionTest, CallAndTerminatorPredicates) {
+  EXPECT_TRUE(Instruction(Opcode::Call, Operand::make_sym("ds:Sleep")).is_call());
+  EXPECT_TRUE(Instruction(Opcode::Ret).is_terminator());
+  EXPECT_TRUE(Instruction(Opcode::Int3).is_terminator());
+  EXPECT_FALSE(Instruction(Opcode::Nop).is_terminator());
+}
+
+TEST(InstructionTest, LabelTargetOnlyForLabelOperands) {
+  const Instruction internal(Opcode::Call, Operand::make_label("sub_1"));
+  ASSERT_NE(internal.label_target(), nullptr);
+  EXPECT_EQ(internal.label_target()->text, "sub_1");
+
+  const Instruction external(Opcode::Call, Operand::make_sym("ds:Sleep"));
+  EXPECT_EQ(external.label_target(), nullptr);
+
+  const Instruction mov(Opcode::Mov, Operand::make_reg(Register::Eax),
+                        Operand::make_label("x"));
+  EXPECT_EQ(mov.label_target(), nullptr);  // not a jump/call
+}
+
+TEST(RegisterAliasTest, ByteRegistersAliasParents) {
+  EXPECT_TRUE(register_aliases(Register::Al, Register::Eax));
+  EXPECT_TRUE(register_aliases(Register::Ah, Register::Eax));
+  EXPECT_TRUE(register_aliases(Register::Bl, Register::Ebx));
+  EXPECT_TRUE(register_aliases(Register::Cl, Register::Ecx));
+  EXPECT_TRUE(register_aliases(Register::Dl, Register::Edx));
+  EXPECT_FALSE(register_aliases(Register::Al, Register::Ebx));
+  EXPECT_FALSE(register_aliases(Register::Esi, Register::Eax));
+  EXPECT_TRUE(register_aliases(Register::Eax, Register::Eax));
+}
+
+TEST(InstructionTest, TouchesRegisterThroughAlias) {
+  const Instruction instr(Opcode::Xor, Operand::make_reg(Register::Al),
+                          Operand::make_imm(0x55));
+  EXPECT_TRUE(instr.touches_register(Register::Eax));
+  EXPECT_FALSE(instr.touches_register(Register::Ebx));
+}
+
+TEST(InstructionTest, ToStringRendersIdaStyle) {
+  const Instruction mov(Opcode::Mov, Operand::make_reg(Register::Eax),
+                        Operand::make_mem("ebp+var_18"));
+  EXPECT_EQ(mov.to_string(), "mov eax, [ebp+var_18]");
+
+  const Instruction call(Opcode::Call, Operand::make_sym("ds:Sleep"));
+  EXPECT_EQ(call.to_string(), "call ds:Sleep");
+
+  const Instruction nop(Opcode::Nop);
+  EXPECT_EQ(nop.to_string(), "nop");
+}
+
+TEST(OperandTest, ImmediateRendering) {
+  EXPECT_EQ(Operand::make_imm(5).to_string(), "5");
+  EXPECT_EQ(Operand::make_imm(0x55).to_string(), "55h");
+  EXPECT_EQ(Operand::make_imm(0x87BDC1D7).to_string(), "87BDC1D7h");
+}
+
+TEST(OperandTest, StringAndLabelRendering) {
+  EXPECT_EQ(Operand::make_string("cmd.exe").to_string(), "\"cmd.exe\"");
+  EXPECT_EQ(Operand::make_label("loc_4").to_string(), "loc_4");
+  EXPECT_EQ(Operand::make_mem("ecx").to_string(), "[ecx]");
+}
+
+TEST(RegisterTest, Names) {
+  EXPECT_STREQ(to_string(Register::Eax), "eax");
+  EXPECT_STREQ(to_string(Register::Esp), "esp");
+  EXPECT_STREQ(to_string(Register::Dl), "dl");
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,185 @@
+#include "isa/lifter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+bool has_edge(const LiftedCfg& cfg, std::uint32_t src, std::uint32_t dst,
+              EdgeKind kind) {
+  for (const CfgEdge& e : cfg.edges()) {
+    if (e.src == src && e.dst == dst && e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(LifterTest, StraightLineIsOneBlock) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  b.emit(Opcode::Mov, Operand::make_reg(Register::Eax), Operand::make_imm(1));
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].size(), 3u);
+  EXPECT_TRUE(cfg.edges().empty());
+}
+
+TEST(LifterTest, EmptyProgramThrows) {
+  const Program program = ProgramBuilder{}.build();
+  EXPECT_THROW(lift_program(program), std::invalid_argument);
+}
+
+TEST(LifterTest, UnconditionalJumpSplitsAndConnects) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);          // block 0
+  b.jmp("target");              // ends block 0
+  b.emit(Opcode::Inc, Operand::make_reg(Register::Eax));  // block 1 (dead)
+  b.label("target");
+  b.ret();                      // block 2
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_TRUE(has_edge(cfg, 0, 2, EdgeKind::Flow));
+  // jmp has no fall-through: block 0 must not flow into block 1.
+  EXPECT_FALSE(has_edge(cfg, 0, 1, EdgeKind::Flow));
+}
+
+TEST(LifterTest, ConditionalJumpHasBothSuccessors) {
+  ProgramBuilder b;
+  b.emit(Opcode::Cmp, Operand::make_reg(Register::Eax), Operand::make_imm(0));
+  b.jcc(Opcode::Je, "then");    // block 0
+  b.emit(Opcode::Nop);          // block 1: fall-through
+  b.label("then");
+  b.ret();                      // block 2
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_TRUE(has_edge(cfg, 0, 2, EdgeKind::Flow));  // taken
+  EXPECT_TRUE(has_edge(cfg, 0, 1, EdgeKind::Flow));  // not taken
+}
+
+TEST(LifterTest, InternalCallProducesCallAndReturnEdges) {
+  ProgramBuilder b;
+  b.call_label("callee");       // block 0
+  b.emit(Opcode::Nop);          // block 1: return site
+  b.ret();
+  b.label("callee");
+  b.ret();                      // block 2
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_TRUE(has_edge(cfg, 0, 2, EdgeKind::Call));
+  EXPECT_TRUE(has_edge(cfg, 0, 1, EdgeKind::Flow));
+}
+
+TEST(LifterTest, ExternalCallDoesNotSplitBlock) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  b.call_api("ds:Sleep");
+  b.emit(Opcode::Mov, Operand::make_reg(Register::Eax), Operand::make_imm(1));
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  EXPECT_EQ(cfg.block_count(), 1u);
+}
+
+TEST(LifterTest, TerminatorsHaveNoSuccessors) {
+  ProgramBuilder b;
+  b.ret();                      // block 0
+  b.emit(Opcode::Nop);          // block 1
+  b.emit(Opcode::Hlt);
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 2u);
+  for (const CfgEdge& e : cfg.edges()) {
+    EXPECT_NE(e.src, 0u);  // ret cannot have out-edges
+  }
+}
+
+TEST(LifterTest, FallThroughBetweenLeaderBlocks) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);          // block 0
+  b.label("loop");              // leader from back-jump
+  b.emit(Opcode::Dec, Operand::make_reg(Register::Ecx));
+  b.jcc(Opcode::Jnz, "loop");   // block 1 -> itself + fall-through
+  b.ret();                      // block 2
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_TRUE(has_edge(cfg, 0, 1, EdgeKind::Flow));  // natural fall-through
+  EXPECT_TRUE(has_edge(cfg, 1, 1, EdgeKind::Flow));  // loop back-edge
+  EXPECT_TRUE(has_edge(cfg, 1, 2, EdgeKind::Flow));  // exit
+}
+
+TEST(LifterTest, SelfLoopViaUnconditionalJump) {
+  ProgramBuilder b;
+  b.label("self");
+  b.emit(Opcode::Nop);
+  b.jmp("self");
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  ASSERT_EQ(cfg.block_count(), 1u);
+  EXPECT_TRUE(has_edge(cfg, 0, 0, EdgeKind::Flow));
+}
+
+TEST(LifterTest, BlockOfInstructionMapsCorrectly) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);     // block 0
+  b.jmp("next");
+  b.label("next");
+  b.emit(Opcode::Nop);     // block 1
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  EXPECT_EQ(cfg.block_of_instruction(0), 0u);
+  EXPECT_EQ(cfg.block_of_instruction(1), 0u);
+  EXPECT_EQ(cfg.block_of_instruction(2), 1u);
+  EXPECT_THROW(cfg.block_of_instruction(99), std::out_of_range);
+}
+
+TEST(LifterTest, BlockInstructionsSpansAreDisjointAndComplete) {
+  ProgramBuilder b;
+  b.emit(Opcode::Cmp, Operand::make_reg(Register::Eax), Operand::make_imm(0));
+  b.jcc(Opcode::Je, "a");
+  b.emit(Opcode::Nop);
+  b.label("a");
+  b.call_label("f");
+  b.ret();
+  b.label("f");
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < cfg.block_count(); ++i) {
+    total += cfg.block_instructions(i).size();
+  }
+  EXPECT_EQ(total, cfg.program().size());
+}
+
+TEST(LifterTest, BlockToStringListsInstructions) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  const std::string text = cfg.block_to_string(0);
+  EXPECT_NE(text.find("nop"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(LifterTest, DuplicateEdgesAreCollapsed) {
+  // Two conditional jumps to the same target from one block are impossible
+  // (jcc ends the block), but a jcc whose fall-through IS its target would
+  // produce the same (src, dst, kind) twice; the lifter must deduplicate.
+  ProgramBuilder b;
+  b.jcc(Opcode::Je, "next");
+  b.label("next");
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  EXPECT_EQ(cfg.edges().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,211 @@
+#include "isa/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+std::vector<PatternHit> hits_of_kind(const std::vector<PatternHit>& hits,
+                                     MalwarePattern kind) {
+  std::vector<PatternHit> out;
+  for (const PatternHit& hit : hits) {
+    if (hit.pattern == kind) out.push_back(hit);
+  }
+  return out;
+}
+
+TEST(XorObfuscationTest, DistinctRegistersDetected) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Xor, Operand::make_reg(Register::Eax),
+                  Operand::make_reg(Register::Ecx)),
+  };
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::XorObfuscation).size(), 1u);
+}
+
+TEST(XorObfuscationTest, SelfXorZeroingIdiomIgnored) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Xor, Operand::make_reg(Register::Eax),
+                  Operand::make_reg(Register::Eax)),
+  };
+  EXPECT_TRUE(hits_of_kind(detect_patterns(block),
+                           MalwarePattern::XorObfuscation).empty());
+}
+
+TEST(XorObfuscationTest, NonZeroImmediateKeyDetected) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Xor, Operand::make_reg(Register::Edx),
+                  Operand::make_imm(0x87BDC1D7)),
+  };
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::XorObfuscation).size(), 1u);
+}
+
+TEST(XorObfuscationTest, ZeroImmediateIgnored) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Xor, Operand::make_reg(Register::Edx),
+                  Operand::make_imm(0)),
+  };
+  EXPECT_TRUE(hits_of_kind(detect_patterns(block),
+                           MalwarePattern::XorObfuscation).empty());
+}
+
+TEST(XorObfuscationTest, MemoryOperandDecoderDetected) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Xor, Operand::make_mem("ecx"),
+                  Operand::make_reg(Register::Al)),
+  };
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::XorObfuscation).size(), 1u);
+}
+
+TEST(SemanticNopTest, PlainNopDetected) {
+  const std::vector<Instruction> block{Instruction(Opcode::Nop)};
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::SemanticNop).size(), 1u);
+}
+
+TEST(SemanticNopTest, MovSameRegisterDetected) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Mov, Operand::make_reg(Register::Esi),
+                  Operand::make_reg(Register::Esi)),
+      Instruction(Opcode::Xchg, Operand::make_reg(Register::Dl),
+                  Operand::make_reg(Register::Dl)),
+  };
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::SemanticNop).size(), 2u);
+}
+
+TEST(SemanticNopTest, RealMovIgnored) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Mov, Operand::make_reg(Register::Esi),
+                  Operand::make_reg(Register::Edi)),
+  };
+  EXPECT_TRUE(hits_of_kind(detect_patterns(block),
+                           MalwarePattern::SemanticNop).empty());
+}
+
+TEST(CodeManipulationTest, CallThenEaxUseDetected) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Call, Operand::make_sym("ds:Sleep")),
+      Instruction(Opcode::Mov, Operand::make_reg(Register::Eax),
+                  Operand::make_mem("ebp+var_EC.hProcess")),
+  };
+  const auto hits =
+      hits_of_kind(detect_patterns(block), MalwarePattern::CodeManipulation);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].excerpt.find("call ds:Sleep"), std::string::npos);
+  EXPECT_NE(hits[0].excerpt.find("mov eax"), std::string::npos);
+}
+
+TEST(CodeManipulationTest, PopEaxAfterCallDetected) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Call, Operand::make_label("sub_4010A6")),
+      Instruction(Opcode::Pop, Operand::make_reg(Register::Eax)),
+  };
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::CodeManipulation).size(), 1u);
+}
+
+TEST(CodeManipulationTest, ByteAliasCountsAsEax) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Call, Operand::make_sym("ds:recv")),
+      Instruction(Opcode::Xor, Operand::make_reg(Register::Al),
+                  Operand::make_imm(0x55)),
+  };
+  EXPECT_EQ(hits_of_kind(detect_patterns(block),
+                         MalwarePattern::CodeManipulation).size(), 1u);
+}
+
+TEST(CodeManipulationTest, CallThenUnrelatedInstructionIgnored) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Call, Operand::make_sym("ds:Sleep")),
+      Instruction(Opcode::Mov, Operand::make_reg(Register::Ebx),
+                  Operand::make_imm(1)),
+  };
+  EXPECT_TRUE(hits_of_kind(detect_patterns(block),
+                           MalwarePattern::CodeManipulation).empty());
+}
+
+TEST(ApiCallTest, ExternalCallRecordedWithCanonicalName) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Call, Operand::make_sym("ds:CreateThread")),
+      Instruction(Opcode::Call, Operand::make_sym("j_SleepEx")),
+  };
+  const auto hits = hits_of_kind(detect_patterns(block), MalwarePattern::ApiCall);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].api_name, "CreateThread");
+  EXPECT_EQ(hits[1].api_name, "SleepEx");
+}
+
+TEST(ApiCallTest, InternalCallNotRecorded) {
+  const std::vector<Instruction> block{
+      Instruction(Opcode::Call, Operand::make_label("sub_1")),
+  };
+  EXPECT_TRUE(
+      hits_of_kind(detect_patterns(block), MalwarePattern::ApiCall).empty());
+}
+
+TEST(ApiClassificationTest, BehaviorGroups) {
+  EXPECT_EQ(classify_api("ds:CreateThread"), ApiBehavior::ThreadCreation);
+  EXPECT_EQ(classify_api("CreateProcessA"), ApiBehavior::ProcessCreation);
+  EXPECT_EQ(classify_api("ds:ReadFile"), ApiBehavior::FileIo);
+  EXPECT_EQ(classify_api("ds:send"), ApiBehavior::Network);
+  EXPECT_EQ(classify_api("recv"), ApiBehavior::Network);
+  EXPECT_EQ(classify_api("RegSetValueA"), ApiBehavior::Registry);
+  EXPECT_EQ(classify_api("j_SleepEx"), ApiBehavior::Timing);
+  EXPECT_EQ(classify_api("QueryPerformanceCounter"), ApiBehavior::Timing);
+  EXPECT_EQ(classify_api("CreatePipe"), ApiBehavior::Pipe);
+  EXPECT_EQ(classify_api("ds:LoadLibraryA"), ApiBehavior::LibraryLoading);
+  EXPECT_EQ(classify_api("GetModuleFileNameA"), ApiBehavior::LibraryLoading);
+  EXPECT_EQ(classify_api("VirtualAlloc"), ApiBehavior::Memory);
+  EXPECT_EQ(classify_api("CryptEncrypt"), ApiBehavior::Crypto);
+  EXPECT_EQ(classify_api("TotallyUnknownApi"), ApiBehavior::Unknown);
+}
+
+TEST(AnalyzeBlocksTest, AggregatesAcrossBlocks) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);                               // block 0: semantic nop
+  b.jmp("next");
+  b.label("next");
+  b.emit(Opcode::Xor, Operand::make_reg(Register::Edi),
+         Operand::make_imm(0x68A25749));             // block 1: xor obfuscation
+  b.call_api("ds:VirtualAlloc");
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+
+  const std::vector<std::uint32_t> all_blocks{0, 1};
+  const PatternReport report = analyze_blocks(cfg, all_blocks);
+  EXPECT_EQ(report.blocks_analyzed, 2u);
+  EXPECT_EQ(report.pattern_counts.at(MalwarePattern::SemanticNop), 1u);
+  EXPECT_EQ(report.pattern_counts.at(MalwarePattern::XorObfuscation), 1u);
+  EXPECT_EQ(report.pattern_counts.at(MalwarePattern::ApiCall), 1u);
+  const auto& memory_apis = report.apis_by_behavior.at(ApiBehavior::Memory);
+  ASSERT_EQ(memory_apis.size(), 1u);
+  EXPECT_EQ(memory_apis[0], "VirtualAlloc");
+}
+
+TEST(AnalyzeBlocksTest, SubsetOnlyScansRequestedBlocks) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);   // block 0
+  b.jmp("next");
+  b.label("next");
+  b.emit(Opcode::Nop);   // block 1
+  b.ret();
+  const Program program = b.build();
+  const LiftedCfg cfg = lift_program(program);
+  const std::vector<std::uint32_t> just_one{1};
+  const PatternReport report = analyze_blocks(cfg, just_one);
+  EXPECT_EQ(report.blocks_analyzed, 1u);
+  EXPECT_EQ(report.pattern_counts.at(MalwarePattern::SemanticNop), 1u);
+}
+
+TEST(PatternNamesTest, AllNamed) {
+  EXPECT_STREQ(to_string(MalwarePattern::CodeManipulation), "Code manipulation");
+  EXPECT_STREQ(to_string(MalwarePattern::XorObfuscation), "XOR obfuscation");
+  EXPECT_STRNE(to_string(ApiBehavior::Network), "?");
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,112 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+TEST(ProgramBuilderTest, EmitsInstructionsInOrder) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  b.emit(Opcode::Mov, Operand::make_reg(Register::Eax), Operand::make_imm(1));
+  b.ret();
+  const Program program = b.build();
+  ASSERT_EQ(program.size(), 3u);
+  EXPECT_EQ(program.instructions()[0].opcode, Opcode::Nop);
+  EXPECT_EQ(program.instructions()[1].opcode, Opcode::Mov);
+  EXPECT_EQ(program.instructions()[2].opcode, Opcode::Ret);
+}
+
+TEST(ProgramBuilderTest, LabelsPointAtNextInstruction) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  b.label("middle");
+  b.emit(Opcode::Ret);
+  const Program program = b.build();
+  ASSERT_TRUE(program.label_index("middle").has_value());
+  EXPECT_EQ(*program.label_index("middle"), 1u);
+  EXPECT_FALSE(program.label_index("missing").has_value());
+}
+
+TEST(ProgramBuilderTest, RedefinedLabelThrows) {
+  ProgramBuilder b;
+  b.label("x");
+  EXPECT_THROW(b.label("x"), std::invalid_argument);
+}
+
+TEST(ProgramBuilderTest, UndefinedJumpTargetFailsValidation) {
+  ProgramBuilder b;
+  b.jmp("nowhere");
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilderTest, UndefinedCallTargetFailsValidation) {
+  ProgramBuilder b;
+  b.call_label("nowhere");
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilderTest, ExternalCallNeedsNoLabel) {
+  ProgramBuilder b;
+  b.call_api("ds:Sleep");
+  b.ret();
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(ProgramBuilderTest, HelpersEmitExpectedOpcodes) {
+  ProgramBuilder b;
+  b.label("target");
+  b.jmp("target");
+  b.jcc(Opcode::Jne, "target");
+  b.call_label("target");
+  b.ret();
+  const Program program = b.build();
+  EXPECT_EQ(program.instructions()[0].opcode, Opcode::Jmp);
+  EXPECT_EQ(program.instructions()[1].opcode, Opcode::Jne);
+  EXPECT_EQ(program.instructions()[2].opcode, Opcode::Call);
+  EXPECT_EQ(program.instructions()[3].opcode, Opcode::Ret);
+}
+
+TEST(ProgramBuilderTest, BuilderIsReusableAfterBuild) {
+  ProgramBuilder b;
+  b.emit(Opcode::Nop);
+  const Program first = b.build();
+  EXPECT_EQ(first.size(), 1u);
+  b.emit(Opcode::Ret);
+  const Program second = b.build();
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.instructions()[0].opcode, Opcode::Ret);
+}
+
+TEST(ProgramTest, NextIndexTracksEmission) {
+  ProgramBuilder b;
+  EXPECT_EQ(b.next_index(), 0u);
+  b.emit(Opcode::Nop);
+  EXPECT_EQ(b.next_index(), 1u);
+}
+
+TEST(ProgramTest, ToStringAnnotatesLabels) {
+  ProgramBuilder b;
+  b.label("start");
+  b.emit(Opcode::Nop);
+  b.label("end");
+  b.ret();
+  const std::string listing = b.build().to_string();
+  EXPECT_NE(listing.find("start:"), std::string::npos);
+  EXPECT_NE(listing.find("end:"), std::string::npos);
+  EXPECT_NE(listing.find("nop"), std::string::npos);
+}
+
+TEST(ProgramTest, LabelPastEndThrows) {
+  std::map<std::string, std::size_t> labels{{"bad", 5}};
+  EXPECT_THROW(Program({Instruction(Opcode::Nop)}, labels), std::logic_error);
+}
+
+TEST(ProgramTest, EmptyProgram) {
+  const Program program = ProgramBuilder{}.build();
+  EXPECT_TRUE(program.empty());
+  EXPECT_EQ(program.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cfgx

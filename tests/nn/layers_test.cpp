@@ -1,0 +1,167 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cfgx {
+namespace {
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+  Rng rng(1);
+  Dense dense(2, 3, rng);
+  dense.weight().value = Matrix{{1, 2, 3}, {4, 5, 6}};
+  dense.bias().value = Matrix{{0.5, -0.5, 1.0}};
+  const Matrix out = dense.forward(Matrix{{1, 1}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 5.5);
+  EXPECT_DOUBLE_EQ(out(0, 1), 6.5);
+  EXPECT_DOUBLE_EQ(out(0, 2), 10.0);
+}
+
+TEST(DenseTest, GlorotInitWithinLimit) {
+  Rng rng(2);
+  const Matrix w = glorot_uniform(100, 50, rng);
+  const double limit = std::sqrt(6.0 / 150.0);
+  EXPECT_LE(w.max_abs(), limit);
+  EXPECT_GT(w.max_abs(), 0.0);
+}
+
+TEST(DenseTest, BackwardShapes) {
+  Rng rng(3);
+  Dense dense(4, 2, rng);
+  dense.forward(Matrix(5, 4, 1.0));
+  const Matrix grad_in = dense.backward(Matrix(5, 2, 1.0));
+  EXPECT_EQ(grad_in.rows(), 5u);
+  EXPECT_EQ(grad_in.cols(), 4u);
+  EXPECT_EQ(dense.weight().grad.rows(), 4u);
+  EXPECT_EQ(dense.weight().grad.cols(), 2u);
+  EXPECT_EQ(dense.bias().grad.cols(), 2u);
+}
+
+TEST(DenseTest, GradientsAccumulateAcrossCalls) {
+  Rng rng(4);
+  Dense dense(2, 2, rng);
+  const Matrix x(1, 2, 1.0);
+  const Matrix g(1, 2, 1.0);
+  dense.forward(x);
+  dense.backward(g);
+  const Matrix once = dense.weight().grad;
+  dense.forward(x);
+  dense.backward(g);
+  EXPECT_TRUE(approx_equal(dense.weight().grad, once * 2.0, 1e-12));
+  dense.zero_grad();
+  EXPECT_DOUBLE_EQ(dense.weight().grad.max_abs(), 0.0);
+}
+
+TEST(ReluTest, ForwardClampsNegatives) {
+  Relu relu;
+  const Matrix out = relu.forward(Matrix{{-1.0, 0.0, 2.5}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), 2.5);
+}
+
+TEST(ReluTest, BackwardGatesByInputSign) {
+  Relu relu;
+  relu.forward(Matrix{{-1.0, 3.0}});
+  const Matrix grad = relu.backward(Matrix{{5.0, 5.0}});
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 5.0);
+}
+
+TEST(SigmoidTest, ForwardKnownValues) {
+  Sigmoid sigmoid;
+  const Matrix out = sigmoid.forward(Matrix{{0.0, 100.0, -100.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.5);
+  EXPECT_NEAR(out(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(out(0, 2), 0.0, 1e-12);
+}
+
+TEST(SigmoidTest, OutputsInUnitInterval) {
+  Sigmoid sigmoid;
+  Rng rng(5);
+  Matrix x(4, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal(0, 10);
+  const Matrix out = sigmoid.forward(x);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out.data()[i], 0.0);
+    EXPECT_LE(out.data()[i], 1.0);
+  }
+}
+
+TEST(SigmoidTest, BackwardUsesDerivative) {
+  Sigmoid sigmoid;
+  sigmoid.forward(Matrix{{0.0}});
+  const Matrix grad = sigmoid.backward(Matrix{{1.0}});
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.25);  // s(1-s) at s=0.5
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  SoftmaxRows softmax;
+  const Matrix out = softmax.forward(Matrix{{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}});
+  for (std::size_t r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) total += out(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  SoftmaxRows s1, s2;
+  const Matrix a = s1.forward(Matrix{{1.0, 2.0, 3.0}});
+  const Matrix b = s2.forward(Matrix{{101.0, 102.0, 103.0}});
+  EXPECT_TRUE(approx_equal(a, b, 1e-12));
+}
+
+TEST(SoftmaxTest, LargeInputsStayFinite) {
+  SoftmaxRows softmax;
+  const Matrix out = softmax.forward(Matrix{{1000.0, 999.0}});
+  EXPECT_TRUE(std::isfinite(out(0, 0)));
+  EXPECT_GT(out(0, 0), out(0, 1));
+}
+
+TEST(SoftmaxTest, BackwardOfUniformGradientIsZero) {
+  // d(softmax)/dx applied to a constant vector must vanish (probabilities
+  // sum to 1 regardless of the shift).
+  SoftmaxRows softmax;
+  softmax.forward(Matrix{{0.3, -1.2, 2.0}});
+  const Matrix grad = softmax.backward(Matrix{{7.0, 7.0, 7.0}});
+  EXPECT_NEAR(grad.max_abs(), 0.0, 1e-12);
+}
+
+TEST(SequentialTest, ComposesModules) {
+  Rng rng(6);
+  Sequential net;
+  net.emplace<Dense>(2, 2, rng, "l0");
+  net.emplace<Relu>();
+  auto& dense = static_cast<Dense&>(net.module(0));
+  dense.weight().value = Matrix{{1, 0}, {0, -1}};
+  dense.bias().value = Matrix{{0, 0}};
+  const Matrix out = net.forward(Matrix{{3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);  // -2 clamped by ReLU
+}
+
+TEST(SequentialTest, ParametersCollectedInOrder) {
+  Rng rng(7);
+  Sequential net;
+  net.emplace<Dense>(2, 3, rng, "a");
+  net.emplace<Relu>();
+  net.emplace<Dense>(3, 1, rng, "b");
+  const auto params = net.parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->name, "a.W");
+  EXPECT_EQ(params[1]->name, "a.b");
+  EXPECT_EQ(params[2]->name, "b.W");
+  EXPECT_EQ(params[3]->name, "b.b");
+}
+
+TEST(SequentialTest, ModuleCount) {
+  Sequential net;
+  EXPECT_EQ(net.module_count(), 0u);
+  net.emplace<Relu>();
+  EXPECT_EQ(net.module_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,115 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace cfgx {
+namespace {
+
+TEST(NllTest, KnownValue) {
+  const Matrix probs{{0.25, 0.75}};
+  const LossResult result = nll_from_probabilities(probs, {1});
+  EXPECT_NEAR(result.value, -std::log(0.75 + kLogBias), 1e-12);
+}
+
+TEST(NllTest, BatchAveraging) {
+  const Matrix probs{{0.5, 0.5}, {0.1, 0.9}};
+  const LossResult result = nll_from_probabilities(probs, {0, 1});
+  const double expected =
+      0.5 * (-std::log(0.5 + kLogBias) - std::log(0.9 + kLogBias));
+  EXPECT_NEAR(result.value, expected, 1e-12);
+}
+
+TEST(NllTest, GradientOnlyOnTargetEntries) {
+  const Matrix probs{{0.2, 0.8}, {0.6, 0.4}};
+  const LossResult result = nll_from_probabilities(probs, {1, 0});
+  EXPECT_DOUBLE_EQ(result.grad(0, 0), 0.0);
+  EXPECT_NEAR(result.grad(0, 1), -1.0 / (0.8 * 2.0), 1e-9);
+  EXPECT_NEAR(result.grad(1, 0), -1.0 / (0.6 * 2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(result.grad(1, 1), 0.0);
+}
+
+TEST(NllTest, LogBiasPreventsInfiniteLoss) {
+  const Matrix probs{{0.0, 1.0}};
+  const LossResult result = nll_from_probabilities(probs, {0});
+  EXPECT_TRUE(std::isfinite(result.value));
+  EXPECT_NEAR(result.value, -std::log(kLogBias), 1e-6);
+}
+
+TEST(NllTest, TargetValidation) {
+  const Matrix probs{{0.5, 0.5}};
+  EXPECT_THROW(nll_from_probabilities(probs, {2}), std::invalid_argument);
+  EXPECT_THROW(nll_from_probabilities(probs, {0, 1}), std::invalid_argument);
+}
+
+TEST(NllTest, GradientMatchesNumeric) {
+  Rng rng(5);
+  Matrix probs(3, 4);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    probs.data()[i] = rng.uniform(0.05, 0.95);
+  }
+  const std::vector<std::size_t> targets{1, 3, 0};
+  const LossResult analytic = nll_from_probabilities(probs, targets);
+  const auto result = check_gradient_against(
+      probs, analytic.grad,
+      [&] { return nll_from_probabilities(probs, targets).value; });
+  EXPECT_TRUE(result.passed(1e-5)) << result.max_rel_error;
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  const Matrix logits(1, 4);  // all-zero logits -> uniform probabilities
+  const LossResult result = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(result.value, std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOnehot) {
+  const Matrix logits{{0.0, 0.0}};
+  const LossResult result = softmax_cross_entropy(logits, {0});
+  EXPECT_NEAR(result.grad(0, 0), -0.5, 1e-12);
+  EXPECT_NEAR(result.grad(0, 1), 0.5, 1e-12);
+}
+
+TEST(CrossEntropyTest, GradientMatchesNumeric) {
+  Rng rng(7);
+  Matrix logits(2, 5);
+  for (std::size_t i = 0; i < logits.size(); ++i) logits.data()[i] = rng.normal();
+  const std::vector<std::size_t> targets{4, 1};
+  const LossResult analytic = softmax_cross_entropy(logits, targets);
+  const auto result = check_gradient_against(
+      logits, analytic.grad,
+      [&] { return softmax_cross_entropy(logits, targets).value; });
+  EXPECT_TRUE(result.passed(1e-6)) << result.max_rel_error;
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectPredictionHasLowLoss) {
+  const Matrix logits{{10.0, -10.0}};
+  EXPECT_LT(softmax_cross_entropy(logits, {0}).value, 1e-6);
+  EXPECT_GT(softmax_cross_entropy(logits, {1}).value, 10.0);
+}
+
+TEST(CrossEntropyTest, TargetValidation) {
+  const Matrix logits(2, 3);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+}
+
+TEST(SoftmaxRowsFnTest, MatchesManualComputation) {
+  const Matrix probs = softmax_rows(Matrix{{std::log(1.0), std::log(3.0)}});
+  EXPECT_NEAR(probs(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(probs(0, 1), 0.75, 1e-12);
+}
+
+TEST(ArgmaxRowsTest, PicksLargestPerRow) {
+  const Matrix scores{{1.0, 3.0, 2.0}, {9.0, 0.0, 1.0}};
+  const auto argmax = argmax_rows(scores);
+  ASSERT_EQ(argmax.size(), 2u);
+  EXPECT_EQ(argmax[0], 1u);
+  EXPECT_EQ(argmax[1], 0u);
+}
+
+}  // namespace
+}  // namespace cfgx

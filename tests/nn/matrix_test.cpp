@@ -1,0 +1,203 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cfgx {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, SizedConstructorZeroInitializes) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(eye.sum(), 3.0);
+}
+
+TEST(MatrixTest, RowAndColumnVectors) {
+  const std::vector<double> values{1, 2, 3};
+  const Matrix row = Matrix::row_vector(values);
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 3u);
+  const Matrix col = Matrix::column_vector(values);
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+  EXPECT_DOUBLE_EQ(col(2, 0), 3.0);
+}
+
+TEST(MatrixTest, AtBoundsChecking) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(MatrixTest, AdditionAndSubtraction) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{10, 20}, {30, 40}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.hadamard_inplace(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, ScalarMultiplication) {
+  Matrix m{{1, -2}};
+  m *= 3.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), -6.0);
+  const Matrix n = 2.0 * Matrix{{1, 1}};
+  EXPECT_DOUBLE_EQ(n(0, 1), 2.0);
+}
+
+TEST(MatrixTest, Hadamard) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{2, 0}, {1, -1}};
+  const Matrix h = a.hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), -4.0);
+}
+
+TEST(MatrixTest, Apply) {
+  Matrix m{{1, 4}, {9, 16}};
+  m.apply([](double v) { return std::sqrt(v); });
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Reductions) {
+  const Matrix m{{1, -2}, {3, -4}};
+  EXPECT_DOUBLE_EQ(m.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+  EXPECT_NEAR(m.frobenius_norm(), std::sqrt(30.0), 1e-12);
+}
+
+TEST(MatrixTest, RowAndColSums) {
+  const Matrix m{{1, 2}, {3, 4}};
+  const Matrix rows = m.row_sums();
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_DOUBLE_EQ(rows(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(rows(1, 0), 7.0);
+  const Matrix cols = m.col_sums();
+  EXPECT_EQ(cols.cols(), 2u);
+  EXPECT_DOUBLE_EQ(cols(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(cols(0, 1), 6.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatmulKnownValues) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatmulDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(MatrixTest, MatmulIdentityIsNoop) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_TRUE(approx_equal(matmul(m, Matrix::identity(2)), m));
+  EXPECT_TRUE(approx_equal(matmul(Matrix::identity(2), m), m));
+}
+
+TEST(MatrixTest, TransposedMatmulsAgreeWithExplicit) {
+  Rng rng(3);
+  Matrix a(4, 3), b(4, 5), c(3, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] = rng.normal();
+
+  EXPECT_TRUE(approx_equal(matmul_transpose_a(a, b), matmul(a.transpose(), b), 1e-12));
+  EXPECT_TRUE(approx_equal(matmul_transpose_b(b, c),
+                           matmul(b, c.transpose()), 1e-12));
+}
+
+TEST(MatrixTest, TransposedMatmulMismatchThrows) {
+  EXPECT_THROW(matmul_transpose_a(Matrix(2, 3), Matrix(3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(matmul_transpose_b(Matrix(2, 3), Matrix(2, 4)),
+               std::invalid_argument);
+}
+
+TEST(MatrixTest, EqualityAndApproxEqual) {
+  const Matrix a{{1, 2}};
+  Matrix b = a;
+  EXPECT_EQ(a, b);
+  b(0, 0) += 1e-12;
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, Matrix(2, 1)));
+}
+
+TEST(MatrixTest, ToStringContainsValues) {
+  const Matrix m{{1.5, -2.25}};
+  const std::string s = m.to_string(2);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("-2.25"), std::string::npos);
+}
+
+TEST(MatrixTest, MatmulAssociativityOnRandomMatrices) {
+  Rng rng(11);
+  Matrix a(3, 4), b(4, 2), c(2, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.normal();
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] = rng.normal();
+  EXPECT_TRUE(approx_equal(matmul(matmul(a, b), c), matmul(a, matmul(b, c)),
+                           1e-10));
+}
+
+}  // namespace
+}  // namespace cfgx

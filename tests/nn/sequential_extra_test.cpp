@@ -1,0 +1,94 @@
+// Additional coverage for the nn building blocks: Sequential's add() path,
+// initializer statistics, matrix row spans, and Parameter bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace cfgx {
+namespace {
+
+TEST(SequentialExtraTest, AddTakesOwnership) {
+  Rng rng(1);
+  Sequential net;
+  net.add(std::make_unique<Dense>(3, 2, rng, "a")).add(std::make_unique<Relu>());
+  EXPECT_EQ(net.module_count(), 2u);
+  const Matrix out = net.forward(Matrix(1, 3, 1.0));
+  EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(SequentialExtraTest, EmptySequentialIsIdentity) {
+  Sequential net;
+  const Matrix x{{1.0, 2.0}};
+  EXPECT_EQ(net.forward(x), x);
+  EXPECT_EQ(net.backward(x), x);
+  EXPECT_TRUE(net.parameters().empty());
+}
+
+TEST(SequentialExtraTest, ZeroGradClearsAllModules) {
+  Rng rng(2);
+  Sequential net;
+  net.emplace<Dense>(2, 2, rng, "a");
+  net.emplace<Dense>(2, 2, rng, "b");
+  net.forward(Matrix(1, 2, 1.0));
+  net.backward(Matrix(1, 2, 1.0));
+  net.zero_grad();
+  for (Parameter* p : net.parameters()) {
+    EXPECT_DOUBLE_EQ(p->grad.max_abs(), 0.0);
+  }
+}
+
+TEST(GlorotInitTest, MeanNearZeroAndBounded) {
+  Rng rng(3);
+  const Matrix w = glorot_uniform(200, 100, rng);
+  const double mean = w.sum() / static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 0.0, 0.005);
+  const double limit = std::sqrt(6.0 / 300.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), limit);
+  }
+}
+
+TEST(GlorotInitTest, DifferentDrawsDiffer) {
+  Rng rng(4);
+  const Matrix a = glorot_uniform(4, 4, rng);
+  const Matrix b = glorot_uniform(4, 4, rng);
+  EXPECT_FALSE(approx_equal(a, b, 1e-12));
+}
+
+TEST(ParameterTest, GradientMatchesValueShape) {
+  Parameter p("w", Matrix(3, 5, 1.0));
+  EXPECT_EQ(p.grad.rows(), 3u);
+  EXPECT_EQ(p.grad.cols(), 5u);
+  EXPECT_DOUBLE_EQ(p.grad.max_abs(), 0.0);
+  p.grad(2, 4) = 7.0;
+  p.zero_grad();
+  EXPECT_DOUBLE_EQ(p.grad.max_abs(), 0.0);
+}
+
+TEST(MatrixRowSpanTest, MutationThroughSpan) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+  const Matrix& cm = m;
+  EXPECT_DOUBLE_EQ(cm.row(1)[2], 9.0);
+}
+
+TEST(DenseExtraTest, BatchRowsAreIndependent) {
+  // y_i must depend only on x_i: perturbing row 0 leaves row 1 unchanged.
+  Rng rng(5);
+  Dense dense(3, 2, rng);
+  Matrix x(2, 3, 1.0);
+  const Matrix base = dense.forward(x);
+  x(0, 0) += 5.0;
+  const Matrix perturbed = dense.forward(x);
+  EXPECT_DOUBLE_EQ(perturbed(1, 0), base(1, 0));
+  EXPECT_DOUBLE_EQ(perturbed(1, 1), base(1, 1));
+  EXPECT_NE(perturbed(0, 0), base(0, 0));
+}
+
+}  // namespace
+}  // namespace cfgx

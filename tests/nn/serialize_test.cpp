@@ -1,0 +1,149 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace cfgx {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+TEST(MatrixSerializeTest, RoundTripExact) {
+  Rng rng(1);
+  const Matrix original = random_matrix(5, 7, rng);
+  std::stringstream buffer;
+  write_matrix(buffer, original);
+  const Matrix restored = read_matrix(buffer);
+  EXPECT_EQ(original, restored);  // bit-exact doubles
+}
+
+TEST(MatrixSerializeTest, EmptyMatrixRoundTrip) {
+  std::stringstream buffer;
+  write_matrix(buffer, Matrix());
+  const Matrix restored = read_matrix(buffer);
+  EXPECT_EQ(restored.rows(), 0u);
+  EXPECT_EQ(restored.cols(), 0u);
+}
+
+TEST(MatrixSerializeTest, TruncatedDataThrows) {
+  Rng rng(2);
+  std::stringstream buffer;
+  write_matrix(buffer, random_matrix(4, 4, rng));
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_matrix(truncated), SerializationError);
+}
+
+TEST(MatrixSerializeTest, CorruptedDimsThrow) {
+  std::stringstream buffer;
+  const std::uint64_t huge = 1ull << 40;
+  buffer.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  buffer.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  EXPECT_THROW(read_matrix(buffer), SerializationError);
+}
+
+TEST(StringSerializeTest, RoundTrip) {
+  std::stringstream buffer;
+  write_string(buffer, "hello.W");
+  EXPECT_EQ(read_string(buffer), "hello.W");
+}
+
+TEST(StringSerializeTest, EmptyString) {
+  std::stringstream buffer;
+  write_string(buffer, "");
+  EXPECT_EQ(read_string(buffer), "");
+}
+
+TEST(StringSerializeTest, ImplausibleLengthThrows) {
+  std::stringstream buffer;
+  const std::uint64_t huge = 1ull << 40;
+  buffer.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  EXPECT_THROW(read_string(buffer), SerializationError);
+}
+
+class ParameterArchiveTest : public ::testing::Test {
+ protected:
+  ParameterArchiveTest()
+      : rng_(3),
+        weight_("layer.W", random_matrix(3, 4, rng_)),
+        bias_("layer.b", random_matrix(1, 4, rng_)) {}
+
+  Rng rng_;
+  Parameter weight_;
+  Parameter bias_;
+};
+
+TEST_F(ParameterArchiveTest, RoundTripRestoresValues) {
+  std::stringstream buffer;
+  save_parameters(buffer, {&weight_, &bias_});
+
+  Parameter w2("layer.W", Matrix(3, 4));
+  Parameter b2("layer.b", Matrix(1, 4));
+  load_parameters(buffer, {&w2, &b2});
+  EXPECT_EQ(w2.value, weight_.value);
+  EXPECT_EQ(b2.value, bias_.value);
+}
+
+TEST_F(ParameterArchiveTest, BadMagicThrows) {
+  std::stringstream buffer("XXXXXXXXgarbage");
+  Parameter p("p", Matrix(1, 1));
+  EXPECT_THROW(load_parameters(buffer, {&p}), SerializationError);
+}
+
+TEST_F(ParameterArchiveTest, MissingNameThrows) {
+  std::stringstream buffer;
+  save_parameters(buffer, {&weight_});
+  Parameter renamed("other.W", Matrix(3, 4));
+  EXPECT_THROW(load_parameters(buffer, {&renamed}), SerializationError);
+}
+
+TEST_F(ParameterArchiveTest, ShapeMismatchThrows) {
+  std::stringstream buffer;
+  save_parameters(buffer, {&weight_});
+  Parameter wrong_shape("layer.W", Matrix(4, 3));
+  EXPECT_THROW(load_parameters(buffer, {&wrong_shape}), SerializationError);
+}
+
+TEST_F(ParameterArchiveTest, CountMismatchThrows) {
+  std::stringstream buffer;
+  save_parameters(buffer, {&weight_, &bias_});
+  Parameter only("layer.W", Matrix(3, 4));
+  EXPECT_THROW(load_parameters(buffer, {&only}), SerializationError);
+}
+
+TEST_F(ParameterArchiveTest, TruncatedArchiveThrows) {
+  std::stringstream buffer;
+  save_parameters(buffer, {&weight_, &bias_});
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 10);
+  std::stringstream truncated(bytes);
+  Parameter w2("layer.W", Matrix(3, 4));
+  Parameter b2("layer.b", Matrix(1, 4));
+  EXPECT_THROW(load_parameters(truncated, {&w2, &b2}), SerializationError);
+}
+
+TEST_F(ParameterArchiveTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cfgx_params.bin";
+  save_parameters_file(path, {&weight_, &bias_});
+  Parameter w2("layer.W", Matrix(3, 4));
+  Parameter b2("layer.b", Matrix(1, 4));
+  load_parameters_file(path, {&w2, &b2});
+  EXPECT_EQ(w2.value, weight_.value);
+}
+
+TEST_F(ParameterArchiveTest, MissingFileThrows) {
+  Parameter p("p", Matrix(1, 1));
+  EXPECT_THROW(load_parameters_file("/nonexistent/cfgx.bin", {&p}),
+               SerializationError);
+}
+
+}  // namespace
+}  // namespace cfgx

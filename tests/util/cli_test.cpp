@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(full.size()), full.data());
+}
+
+TEST(CliArgsTest, EqualsSyntax) {
+  const auto args = make({"--epochs=30"});
+  EXPECT_EQ(args.get_int("epochs", 0), 30);
+}
+
+TEST(CliArgsTest, SpaceSyntax) {
+  const auto args = make({"--epochs", "30"});
+  EXPECT_EQ(args.get_int("epochs", 0), 30);
+}
+
+TEST(CliArgsTest, BareFlag) {
+  const auto args = make({"--fast"});
+  EXPECT_TRUE(args.get_flag("fast"));
+  EXPECT_FALSE(args.get_flag("slow"));
+}
+
+TEST(CliArgsTest, FlagFollowedByFlag) {
+  const auto args = make({"--fast", "--epochs=3"});
+  EXPECT_TRUE(args.get_flag("fast"));
+  EXPECT_EQ(args.get_int("epochs", 0), 3);
+}
+
+TEST(CliArgsTest, DefaultsWhenAbsent) {
+  const auto args = make({});
+  EXPECT_EQ(args.get_int("epochs", 7), 7);
+  EXPECT_EQ(args.get_string("name", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.5), 0.5);
+}
+
+TEST(CliArgsTest, DoubleParsing) {
+  const auto args = make({"--lr=0.001"});
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 1.0), 0.001);
+}
+
+TEST(CliArgsTest, BadIntThrows) {
+  const auto args = make({"--epochs=abc"});
+  EXPECT_THROW(args.get_int("epochs", 0), std::invalid_argument);
+}
+
+TEST(CliArgsTest, BadDoubleThrows) {
+  const auto args = make({"--lr=xyz"});
+  EXPECT_THROW(args.get_double("lr", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgsTest, PositionalCollected) {
+  const auto args = make({"input.bin", "--epochs=2", "output.bin"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.bin");
+  EXPECT_EQ(args.positional()[1], "output.bin");
+}
+
+TEST(CliArgsTest, HasDetectsPresence) {
+  const auto args = make({"--x=1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(CliArgsTest, ExplicitTrueFalseFlagValues) {
+  EXPECT_TRUE(make({"--f=true"}).get_flag("f"));
+  EXPECT_TRUE(make({"--f=1"}).get_flag("f"));
+  EXPECT_FALSE(make({"--f=0"}).get_flag("f"));
+}
+
+}  // namespace
+}  // namespace cfgx

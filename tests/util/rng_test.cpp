@@ -1,0 +1,196 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace cfgx {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(42);
+  const std::uint64_t first = rng();
+  rng();
+  rng.reseed(42);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIndexZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntReversedThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsReasonable) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.06);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 10000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.1);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  bool any_moved = false;
+  for (int i = 0; i < 50; ++i) {
+    if (values[static_cast<std::size_t>(i)] != i) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(RngTest, ChoiceReturnsElement) {
+  Rng rng(23);
+  const std::vector<int> values{10, 20, 30};
+  for (int i = 0; i < 20; ++i) {
+    const int c = rng.choice(values);
+    EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+  }
+}
+
+TEST(RngTest, ChoiceEmptyThrows) {
+  Rng rng(23);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.choice(empty), std::invalid_argument);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(29);
+  const auto sample = rng.sample_indices(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (std::size_t v : sample) EXPECT_LT(v, 20u);
+}
+
+TEST(RngTest, SampleIndicesFullSetIsPermutation) {
+  Rng rng(29);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleIndicesTooManyThrows) {
+  Rng rng(29);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child_a = parent.split(1);
+  Rng child_b = parent.split(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child_a() != child_b()) ++differences;
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng p1(31), p2(31);
+  Rng c1 = p1.split(5);
+  Rng c2 = p2.split(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c1(), c2());
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"Family", "Acc"});
+  table.add_row({"Bagle", "0.75"});
+  table.add_row({"Zlob", "0.38"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Family"), std::string::npos);
+  EXPECT_NE(out.find("Bagle"), std::string::npos);
+  EXPECT_NE(out.find("0.38"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAreAligned) {
+  TextTable table({"A", "B"});
+  table.add_row({"short", "x"});
+  table.add_row({"much-longer-cell", "y"});
+  const std::string out = table.render();
+  // Every rendered line between rules has equal length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected) << line;
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, ArityMismatchThrows) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, AlignmentArityMismatchThrows) {
+  EXPECT_THROW(TextTable({"A", "B"}, {Align::Left}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RightAlignmentPadsLeft) {
+  TextTable table({"Value"}, {Align::Right});
+  table.add_row({"7"});
+  table.add_row({"1234"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("    7 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleInsertedBetweenRows) {
+  TextTable table({"A"});
+  table.add_row({"x"});
+  table.add_rule();
+  table.add_row({"y"});
+  const std::string out = table.render();
+  // Rules: top, under header, before "y", bottom.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable table({"A"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"x"});
+  table.add_row({"y"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FormatTest, FixedDecimals) {
+  EXPECT_EQ(format_fixed(0.75309, 4), "0.7531");
+  EXPECT_EQ(format_fixed(1.0, 2), "1.00");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(format_percent(0.5239, 1), "52.4%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace cfgx

@@ -1,0 +1,81 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cfgx {
+namespace {
+
+TEST(ThreadPoolTest, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.submit([&] { value = 42; }).get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::logic_error("bad");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, ParallelForAccumulatesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long> partial(1000, 0);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    partial[i] = static_cast<long>(i);
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 999L * 1000L / 2);
+}
+
+TEST(ThreadPoolTest, ManyTasksDrainOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&] { done.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace cfgx

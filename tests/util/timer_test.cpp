@@ -1,0 +1,89 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfgx {
+namespace {
+
+TEST(DurationStatsTest, MeanOfKnownSamples) {
+  DurationStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.total(), 6.0);
+  EXPECT_EQ(stats.count(), 3u);
+}
+
+TEST(DurationStatsTest, SampleStddev) {
+  DurationStats stats;
+  stats.add(2.0);
+  stats.add(4.0);
+  stats.add(4.0);
+  stats.add(4.0);
+  stats.add(5.0);
+  stats.add(5.0);
+  stats.add(7.0);
+  stats.add(9.0);
+  // Known dataset: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DurationStatsTest, StddevOfSingleSampleIsZero) {
+  DurationStats stats;
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(DurationStatsTest, EmptyMeanIsZero) {
+  DurationStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(DurationStatsTest, MinMax) {
+  DurationStats stats;
+  stats.add(3.0);
+  stats.add(1.0);
+  stats.add(2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(DurationStatsTest, MinOnEmptyThrows) {
+  DurationStats stats;
+  EXPECT_THROW(stats.min(), std::logic_error);
+  EXPECT_THROW(stats.max(), std::logic_error);
+}
+
+TEST(DurationStatsTest, SummarySelectsUnits) {
+  DurationStats ms;
+  ms.add(0.0123);
+  EXPECT_NE(ms.summary().find("ms"), std::string::npos);
+
+  DurationStats s;
+  s.add(2.5);
+  const std::string text = s.summary();
+  EXPECT_NE(text.find(" s"), std::string::npos);
+  EXPECT_EQ(text.find("ms"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Busy-wait just a moment.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(watch.elapsed_seconds(), 0.0);
+  EXPECT_GE(watch.elapsed_ms(), watch.elapsed_seconds());
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double before = watch.elapsed_seconds();
+  watch.restart();
+  EXPECT_LT(watch.elapsed_seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace cfgx
