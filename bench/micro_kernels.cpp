@@ -9,7 +9,9 @@
 #include "gnn/classifier.hpp"
 #include "graph/ops.hpp"
 #include "isa/features.hpp"
+#include "nn/sparse.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cfgx {
 namespace {
@@ -18,6 +20,25 @@ Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
   Matrix m(rows, cols);
   for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
   return m;
+}
+
+// Adjacency at typical CFG edge density: a fallthrough chain plus sparse
+// branch/call edges, ~2 out-edges per basic block regardless of n.
+Matrix cfg_adjacency(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = 1.0;
+  const double p = 1.0 / static_cast<double>(n);  // ~1 extra edge per node
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(p)) a(i, j) = 1.0;
+    }
+  }
+  return a;
+}
+
+ThreadPool& kernel_pool() {
+  static ThreadPool pool;
+  return pool;
 }
 
 void BM_Matmul(benchmark::State& state) {
@@ -32,6 +53,94 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * 64));
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// --- dense vs CSR vs parallel on the GCN hot-path product A_hat * H ---
+// Same normalized CFG-density adjacency and feature width (64) in all
+// variants so the reported times are directly comparable; the acceptance
+// bar is >= 2x for CSR over dense matmul at n = 256.
+
+void BM_AdjacencyMatmulDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Matrix a_hat = normalized_adjacency(cfg_adjacency(n, rng));
+  const Matrix h = random_matrix(n, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a_hat, h));
+  }
+}
+BENCHMARK(BM_AdjacencyMatmulDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AdjacencyMatmulDenseParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Matrix a_hat = normalized_adjacency(cfg_adjacency(n, rng));
+  const Matrix h = random_matrix(n, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_parallel(a_hat, h, kernel_pool()));
+  }
+}
+BENCHMARK(BM_AdjacencyMatmulDenseParallel)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AdjacencySpmmCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const CsrMatrix a_hat =
+      CsrMatrix::from_dense(normalized_adjacency(cfg_adjacency(n, rng)));
+  const Matrix h = random_matrix(n, 64, rng);
+  state.counters["density"] = a_hat.density();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(a_hat, h));
+  }
+}
+BENCHMARK(BM_AdjacencySpmmCsr)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AdjacencySpmmCsrParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const CsrMatrix a_hat =
+      CsrMatrix::from_dense(normalized_adjacency(cfg_adjacency(n, rng)));
+  const Matrix h = random_matrix(n, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(a_hat, h, &kernel_pool()));
+  }
+}
+BENCHMARK(BM_AdjacencySpmmCsrParallel)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AdjacencySpmmTransposeCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const CsrMatrix a_hat =
+      CsrMatrix::from_dense(normalized_adjacency(cfg_adjacency(n, rng)));
+  const Matrix g = random_matrix(n, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm_transpose_a(a_hat, g));
+  }
+}
+BENCHMARK(BM_AdjacencySpmmTransposeCsr)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CsrFromDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Matrix a_hat = normalized_adjacency(cfg_adjacency(n, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrMatrix::from_dense(a_hat));
+  }
+}
+BENCHMARK(BM_CsrFromDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GcnLayerForwardCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  GcnLayer layer(12, 64, rng);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = 1.0;
+  const CsrMatrix a_hat = CsrMatrix::from_dense(normalized_adjacency(a));
+  const Matrix h = random_matrix(n, 12, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.infer(a_hat, h));
+  }
+}
+BENCHMARK(BM_GcnLayerForwardCsr)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_NormalizedAdjacency(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

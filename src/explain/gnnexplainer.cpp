@@ -23,7 +23,12 @@ double regularizer_grad(double g, double size_weight, double entropy_weight) {
 }  // namespace
 
 GnnExplainer::GnnExplainer(const GnnClassifier& gnn, GnnExplainerConfig config)
-    : gnn_(gnn.clone()), config_(config) {}
+    : gnn_(gnn.clone()), config_(config) {
+  // clone() round-trips through serialization and drops the (non-owned)
+  // kernel pool; keep the source model's so the per-iteration CSR
+  // forward/backward stays parallel.
+  gnn_.set_kernel_pool(gnn.kernel_pool());
+}
 
 NodeRanking GnnExplainer::explain(const Acfg& graph) {
   const std::size_t num_edges = graph.num_edges();

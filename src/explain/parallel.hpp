@@ -10,6 +10,10 @@
 //   ThreadPool pool;
 //   auto rankings = explain_batch(
 //       graphs, pool, [&] { return std::make_unique<GnnExplainer>(gnn); });
+//
+// The GNN handed to the factory may carry a kernel pool (even this same
+// pool): a reentrant parallel_for from a worker runs inline, so the sparse
+// kernels inside each explanation never deadlock the batch.
 #pragma once
 
 #include <functional>

@@ -17,6 +17,9 @@ double stable_sigmoid(double x) {
 
 PgExplainer::PgExplainer(const GnnClassifier& gnn, PgExplainerConfig config)
     : gnn_(gnn.clone()), config_(config), rng_(config.seed) {
+  // clone() drops the non-owned kernel pool; re-attach it so the CSR-backed
+  // forward/backward in the mask-training loop stays parallel.
+  gnn_.set_kernel_pool(gnn.kernel_pool());
   const std::size_t in_dim = 2 * gnn_.config().embedding_dim();
   predictor_.emplace<Dense>(in_dim, config_.hidden_dim, rng_, "pg.h0");
   predictor_.emplace<Relu>();

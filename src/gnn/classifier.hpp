@@ -54,11 +54,21 @@ struct Prediction {
   double confidence() const { return probabilities(0, predicted_class); }
 };
 
+class ThreadPool;
+
 class GnnClassifier {
  public:
   GnnClassifier(GnnConfig config, Rng& rng);
 
   const GnnConfig& config() const noexcept { return config_; }
+
+  // Optional thread pool for the sparse/dense kernels inside embed() and
+  // the cached training path. Row-partitioned work keeps results identical
+  // to the serial run. Not owned; not copied by clone()/save(). The pool
+  // may be the same one driving explain_batch — a reentrant parallel_for
+  // from a worker runs inline.
+  void set_kernel_pool(ThreadPool* pool) noexcept { kernel_pool_ = pool; }
+  ThreadPool* kernel_pool() const noexcept { return kernel_pool_; }
 
   void set_scaler(FeatureScaler scaler) { scaler_ = std::move(scaler); }
   const FeatureScaler& scaler() const noexcept { return scaler_; }
@@ -135,8 +145,11 @@ class GnnClassifier {
   std::vector<GcnLayer> gcn_layers_;
   std::unique_ptr<Dense> readout_;
 
-  // Training caches.
-  Matrix cached_a_hat_;
+  ThreadPool* kernel_pool_ = nullptr;
+
+  // Training caches. The adjacency is cached in CSR form: every backward
+  // kernel that consumes it is sparse.
+  CsrMatrix cached_a_hat_;
   Matrix cached_norm_coeffs_;  // d_i^{-1/2} d_j^{-1/2} factors for dA chain
   Matrix cached_embeddings_;
   std::vector<std::size_t> cached_selection_;  // SortPool permutation

@@ -1,5 +1,7 @@
 #include "gnn/gcn.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace cfgx {
 namespace {
 
@@ -28,12 +30,34 @@ Matrix GcnLayer::infer(const Matrix& a_hat, const Matrix& h) const {
   return relu(add_bias_rows(matmul(a_hat, matmul(h, weight_.value)), bias_.value));
 }
 
+Matrix GcnLayer::infer(const CsrMatrix& a_hat, const Matrix& h,
+                       ThreadPool* pool) const {
+  return relu(add_bias_rows(spmm(a_hat, matmul(h, weight_.value), pool),
+                            bias_.value));
+}
+
 Matrix GcnLayer::forward(const Matrix& a_hat, const Matrix& h) {
   cached_a_hat_ = a_hat;
+  cached_a_csr_ = CsrMatrix();
+  cached_csr_path_ = false;
+  cached_pool_ = nullptr;
   cached_h_ = h;
   cached_hw_ = matmul(h, weight_.value);
   cached_preactivation_ =
       add_bias_rows(matmul(a_hat, cached_hw_), bias_.value);
+  return relu(cached_preactivation_);
+}
+
+Matrix GcnLayer::forward(const CsrMatrix& a_hat, const Matrix& h,
+                         ThreadPool* pool) {
+  cached_a_hat_ = Matrix();
+  cached_a_csr_ = a_hat;
+  cached_csr_path_ = true;
+  cached_pool_ = pool;
+  cached_h_ = h;
+  cached_hw_ = matmul(h, weight_.value);
+  cached_preactivation_ =
+      add_bias_rows(spmm(cached_a_csr_, cached_hw_, pool), bias_.value);
   return relu(cached_preactivation_);
 }
 
@@ -47,7 +71,9 @@ Matrix GcnLayer::backward(const Matrix& grad_output, Matrix* grad_a_hat) {
   bias_.grad += grad_pre.col_sums();
 
   // d(HW) = A_hat^T dP;  dW = H^T d(HW);  dH = d(HW) W^T;  dA = dP (HW)^T.
-  const Matrix grad_hw = matmul_transpose_a(cached_a_hat_, grad_pre);
+  const Matrix grad_hw =
+      cached_csr_path_ ? spmm_transpose_a(cached_a_csr_, grad_pre, cached_pool_)
+                       : matmul_transpose_a(cached_a_hat_, grad_pre);
   weight_.grad += matmul_transpose_a(cached_h_, grad_hw);
   if (grad_a_hat != nullptr) {
     *grad_a_hat += matmul_transpose_b(grad_pre, cached_hw_);

@@ -10,6 +10,12 @@
 //   * forward(...)/backward — cached training path; backward can also
 //     return dLoss/dA_hat, which GNNExplainer and PGExplainer need to
 //     optimize edge masks through the GNN.
+//
+// Each path accepts A_hat either dense (the reference implementation the
+// tests compare against) or in CSR form (the production fast path — CFG
+// adjacencies are >95% zeros). The CSR overloads take an optional
+// ThreadPool whose workers split the output rows; results are identical to
+// the dense path to the last bit for finite inputs.
 #pragma once
 
 #include <string>
@@ -17,8 +23,11 @@
 
 #include "nn/layers.hpp"
 #include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
 
 namespace cfgx {
+
+class ThreadPool;
 
 class GcnLayer {
  public:
@@ -28,15 +37,21 @@ class GcnLayer {
   std::size_t in_features() const { return weight_.value.rows(); }
   std::size_t out_features() const { return weight_.value.cols(); }
 
-  // Cache-free inference.
+  // Cache-free inference (dense reference / CSR fast path).
   Matrix infer(const Matrix& a_hat, const Matrix& h) const;
+  Matrix infer(const CsrMatrix& a_hat, const Matrix& h,
+               ThreadPool* pool = nullptr) const;
 
-  // Cached training forward.
+  // Cached training forward. The CSR overload caches the sparse adjacency
+  // so backward() runs the sparse kernels too.
   Matrix forward(const Matrix& a_hat, const Matrix& h);
+  Matrix forward(const CsrMatrix& a_hat, const Matrix& h,
+                 ThreadPool* pool = nullptr);
 
   // Backward from dLoss/dZ. Accumulates dW, db; returns dLoss/dH.
   // When grad_a_hat != nullptr, also accumulates dLoss/dA_hat into it
-  // (must be pre-sized [N, N]).
+  // (must be pre-sized [N, N]; always dense — the explainers optimize a
+  // dense edge-mask gradient).
   Matrix backward(const Matrix& grad_output, Matrix* grad_a_hat = nullptr);
 
   std::vector<Parameter*> parameters() { return {&weight_, &bias_}; }
@@ -48,8 +63,12 @@ class GcnLayer {
  private:
   Parameter weight_;
   Parameter bias_;
-  // Caches for backward.
+  // Caches for backward. Exactly one of cached_a_hat_ / cached_a_csr_ is
+  // populated, per the overload forward() was called with.
   Matrix cached_a_hat_;
+  CsrMatrix cached_a_csr_;
+  bool cached_csr_path_ = false;
+  ThreadPool* cached_pool_ = nullptr;
   Matrix cached_h_;
   Matrix cached_hw_;             // H * W
   Matrix cached_preactivation_;  // A_hat * H * W + b

@@ -69,6 +69,19 @@ Matrix normalized_adjacency(const Matrix& adjacency,
   return s;
 }
 
+CsrMatrix normalized_adjacency_csr(const Matrix& adjacency,
+                                   const Matrix* features) {
+  std::vector<double> unused;
+  return normalized_adjacency_csr(adjacency, unused, features);
+}
+
+CsrMatrix normalized_adjacency_csr(const Matrix& adjacency,
+                                   std::vector<double>& inv_sqrt_degree,
+                                   const Matrix* features) {
+  return CsrMatrix::from_dense(
+      normalized_adjacency(adjacency, inv_sqrt_degree, features));
+}
+
 std::size_t count_active_nodes(const Matrix& adjacency, const Matrix& features) {
   if (adjacency.rows() != adjacency.cols() ||
       adjacency.rows() != features.rows()) {

@@ -8,6 +8,7 @@
 
 #include "graph/acfg.hpp"
 #include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
 
 namespace cfgx {
 
@@ -31,6 +32,16 @@ Matrix normalized_adjacency(const Matrix& adjacency,
 Matrix normalized_adjacency(const Matrix& adjacency,
                             std::vector<double>& inv_sqrt_degree,
                             const Matrix* features = nullptr);
+
+// CSR form of the normalized adjacency, for the sparse GCN hot path. The
+// stored values are bit-identical to the dense normalized_adjacency (same
+// computation, structural zeros dropped), so spmm(csr, H) reproduces
+// matmul(a_hat, H) exactly.
+CsrMatrix normalized_adjacency_csr(const Matrix& adjacency,
+                                   const Matrix* features = nullptr);
+CsrMatrix normalized_adjacency_csr(const Matrix& adjacency,
+                                   std::vector<double>& inv_sqrt_degree,
+                                   const Matrix* features = nullptr);
 
 // Number of *active* nodes under the self-loop policy above: nodes with an
 // incident edge or a non-zero feature row. Pruned and padded nodes are

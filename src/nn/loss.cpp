@@ -43,11 +43,16 @@ LossResult softmax_cross_entropy(const Matrix& logits,
   const auto batch = static_cast<double>(logits.rows());
   Matrix probs = softmax_rows(logits);
   LossResult result;
+  // The target probability is clamped identically in the loss value and in
+  // the gradient, so both describe the same (floored) function: with
+  // extreme logits the softmax underflows to exactly 0 and an unclamped
+  // pair would mix a finite loss with the gradient of the unfloored one.
   for (std::size_t i = 0; i < logits.rows(); ++i) {
-    result.value += -std::log(std::max(probs(i, targets[i]), 1e-300));
+    const double p = std::max(probs(i, targets[i]), kSoftmaxProbFloor);
+    result.value += -std::log(p);
+    probs(i, targets[i]) = p - 1.0;
   }
   result.value /= batch;
-  for (std::size_t i = 0; i < probs.rows(); ++i) probs(i, targets[i]) -= 1.0;
   probs *= 1.0 / batch;
   result.grad = std::move(probs);
   return result;

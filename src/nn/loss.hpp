@@ -17,6 +17,11 @@ namespace cfgx {
 // The paper's log bias (Section IV-A).
 inline constexpr double kLogBias = 1e-20;
 
+// Floor applied to the target softmax probability in softmax_cross_entropy,
+// in BOTH the loss value and the gradient (they must describe the same
+// function). Keeps -log(p) finite when extreme logits underflow p to 0.
+inline constexpr double kSoftmaxProbFloor = 1e-300;
+
 struct LossResult {
   double value = 0.0;  // mean loss over the batch
   Matrix grad;         // dLoss/dInput, same shape as the loss input

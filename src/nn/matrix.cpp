@@ -153,8 +153,9 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double* out_row = out.data() + i * out.cols();
     for (std::size_t k = 0; k < a.cols(); ++k) {
+      // No zero-skip here: the dense kernel is the IEEE-faithful reference
+      // (0 * NaN must poison the output). Sparsity lives in CsrMatrix.
       const double aik = a(i, k);
-      if (aik == 0.0) continue;  // sparse adjacency rows are mostly zero
       const double* b_row = b.data() + k * b.cols();
       for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
     }
@@ -170,7 +171,6 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
     const double* b_row = b.data() + k * b.cols();
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double aki = a_row[i];
-      if (aki == 0.0) continue;
       double* out_row = out.data() + i * out.cols();
       for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
     }

@@ -1,0 +1,204 @@
+#include "nn/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace cfgx {
+namespace {
+
+[[noreturn]] void throw_spmm_shape(const char* op, std::size_t a_rows,
+                                   std::size_t a_cols, const Matrix& b) {
+  throw std::invalid_argument(std::string(op) + ": shape mismatch [" +
+                              std::to_string(a_rows) + "x" +
+                              std::to_string(a_cols) + "] vs [" +
+                              std::to_string(b.rows()) + "x" +
+                              std::to_string(b.cols()) + "]");
+}
+
+// Splits [0, extent) into at most pool.worker_count() contiguous chunks and
+// runs body(begin, end) for each on the pool. Chunks are disjoint, so the
+// body may write its output range without synchronization.
+void parallel_ranges(ThreadPool& pool, std::size_t extent,
+                     const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t chunk_count =
+      std::max<std::size_t>(1, std::min(extent, pool.worker_count()));
+  const std::size_t chunk = (extent + chunk_count - 1) / chunk_count;
+  pool.parallel_for(chunk_count, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(extent, begin + chunk);
+    if (begin < end) body(begin, end);
+  });
+}
+
+void spmm_rows(const CsrMatrix& a, const Matrix& b, Matrix& out,
+               std::size_t row_begin, std::size_t row_end) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const std::size_t n_cols = b.cols();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double* out_row = out.data() + i * n_cols;
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const double v = values[p];
+      const double* b_row = b.data() + col_idx[p] * n_cols;
+      for (std::size_t j = 0; j < n_cols; ++j) out_row[j] += v * b_row[j];
+    }
+  }
+}
+
+// A^T * B restricted to B's column slice [col_begin, col_end): every nnz
+// (k -> i, v) scatters v * B[k, j] into out[i, j] for j in the slice only.
+void spmm_transpose_cols(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                         std::size_t col_begin, std::size_t col_end) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const std::size_t n_cols = b.cols();
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* b_row = b.data() + k * n_cols;
+    for (std::size_t p = row_ptr[k]; p < row_ptr[k + 1]; ++p) {
+      const double v = values[p];
+      double* out_row = out.data() + col_idx[p] * n_cols;
+      for (std::size_t j = col_begin; j < col_end; ++j) {
+        out_row[j] += v * b_row[j];
+      }
+    }
+  }
+}
+
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                 std::size_t row_begin, std::size_t row_end) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double* out_row = out.data() + i * out.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      const double* b_row = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double threshold) {
+  CsrMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_ptr_.assign(out.rows_ + 1, 0);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (std::abs(v) > threshold) {
+        out.col_idx_.push_back(static_cast<std::uint32_t>(j));
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[i + 1] = out.values_.size();
+  }
+  return out;
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::uint32_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != rows_ + 1 || row_ptr_.front() != 0 ||
+      row_ptr_.back() != values_.size() || col_idx_.size() != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: inconsistent CSR arrays");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (row_ptr_[i] > row_ptr_[i + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr must be non-decreasing");
+    }
+  }
+  for (std::uint32_t c : col_idx_) {
+    if (c >= cols_) throw std::invalid_argument("CsrMatrix: column out of range");
+  }
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out(i, col_idx_[p]) = values_[p];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CsrMatrix out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  out.row_ptr_.assign(cols_ + 1, 0);
+  out.col_idx_.resize(nnz());
+  out.values_.resize(nnz());
+  // Counting sort by source column: count, prefix-sum, scatter.
+  for (std::uint32_t c : col_idx_) ++out.row_ptr_[c + 1];
+  for (std::size_t i = 0; i < cols_; ++i) out.row_ptr_[i + 1] += out.row_ptr_[i];
+  std::vector<std::size_t> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      const std::size_t slot = cursor[col_idx_[p]]++;
+      out.col_idx_[slot] = static_cast<std::uint32_t>(i);
+      out.values_[slot] = values_[p];
+    }
+  }
+  return out;
+}
+
+double CsrMatrix::density() const noexcept {
+  const std::size_t total = rows_ * cols_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
+  if (a.cols() != b.rows()) throw_spmm_shape("spmm", a.rows(), a.cols(), b);
+  Matrix out(a.rows(), b.cols());
+  if (pool != nullptr && a.rows() > 1) {
+    parallel_ranges(*pool, a.rows(), [&](std::size_t begin, std::size_t end) {
+      spmm_rows(a, b, out, begin, end);
+    });
+  } else {
+    spmm_rows(a, b, out, 0, a.rows());
+  }
+  return out;
+}
+
+Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
+  if (a.rows() != b.rows()) {
+    throw_spmm_shape("spmm_transpose_a", a.rows(), a.cols(), b);
+  }
+  Matrix out(a.cols(), b.cols());
+  if (pool != nullptr && b.cols() > 1) {
+    parallel_ranges(*pool, b.cols(), [&](std::size_t begin, std::size_t end) {
+      spmm_transpose_cols(a, b, out, begin, end);
+    });
+  } else {
+    spmm_transpose_cols(a, b, out, 0, b.cols());
+  }
+  return out;
+}
+
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
+  if (a.cols() != b.rows()) {
+    throw_spmm_shape("matmul_parallel", a.rows(), a.cols(), b);
+  }
+  Matrix out(a.rows(), b.cols());
+  parallel_ranges(pool, a.rows(), [&](std::size_t begin, std::size_t end) {
+    matmul_rows(a, b, out, begin, end);
+  });
+  return out;
+}
+
+}  // namespace cfgx

@@ -1,0 +1,86 @@
+// Compressed-sparse-row kernels for the GCN hot path.
+//
+// CFG adjacencies are >95% zeros (a basic block has at most a handful of
+// successors), so the normalized propagation matrix A_hat multiplied in
+// every GCN forward/backward and every explainer iteration is extremely
+// sparse. CsrMatrix stores only the structural non-zeros; spmm /
+// spmm_transpose_a are the sparse counterparts of matmul /
+// matmul_transpose_a and are bit-identical to the dense reference on
+// matching inputs (same per-row accumulation order).
+//
+// Sparsity semantics: a *structural* zero (an entry CSR never stored) is
+// treated as absent — it contributes nothing even against NaN/Inf in the
+// dense operand. The dense kernels in matrix.cpp are the IEEE-faithful
+// reference (0 * NaN = NaN); the sparse fast path makes the skip explicit
+// in the representation instead of hiding it in a value test.
+//
+// Parallelism: every kernel takes an optional ThreadPool. Work is
+// partitioned over disjoint output regions (rows for spmm/matmul, column
+// slices for spmm_transpose_a), so the parallel result is deterministic
+// and identical to the serial one — each output element is accumulated by
+// exactly one thread in the same order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace cfgx {
+
+class ThreadPool;
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Captures every entry of `dense` with |value| > threshold (exact
+  // non-zeros by default, so from_dense . to_dense is the identity).
+  static CsrMatrix from_dense(const Matrix& dense, double threshold = 0.0);
+
+  // From explicit triplet-style rows: row_ptr has rows+1 entries.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::uint32_t> col_idx,
+            std::vector<double> values);
+
+  Matrix to_dense() const;
+  CsrMatrix transpose() const;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return rows_ == 0 && cols_ == 0; }
+
+  // Fraction of stored entries, in [0, 1]; 0 for an empty matrix.
+  double density() const noexcept;
+
+  const std::vector<std::size_t>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const noexcept { return col_idx_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;     // size rows_ + 1
+  std::vector<std::uint32_t> col_idx_;   // size nnz
+  std::vector<double> values_;           // size nnz
+};
+
+// C = A * B with A in CSR form. Throws std::invalid_argument on
+// inner-dimension mismatch. With a pool, rows of C are computed in
+// worker_count chunks (deterministic; see header comment).
+Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool = nullptr);
+
+// C = A^T * B without materializing A^T. With a pool, each worker owns a
+// disjoint slice of B's columns (scatter over output rows is race-free
+// because writes within a slice never overlap across workers).
+Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b,
+                        ThreadPool* pool = nullptr);
+
+// Dense C = A * B with rows of C partitioned across the pool. Identical
+// results to matmul(a, b); use for the large dense products (gradient
+// scatter, readout) that stay dense.
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool);
+
+}  // namespace cfgx

@@ -3,6 +3,28 @@
 #include <algorithm>
 
 namespace cfgx {
+namespace {
+
+// Identifies the pool (if any) that owns the current thread, so
+// parallel_for can detect reentrant calls and run inline instead of
+// blocking on futures stuck behind the caller's own task.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+// Runs fn over [0, count) on the calling thread with the parallel_for
+// exception contract: every index is attempted, the first error rethrown.
+void run_serial(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < count; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
   if (worker_count == 0) {
@@ -23,6 +45,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::in_worker_thread() const {
+  return current_worker_pool == this;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
@@ -36,10 +62,28 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || in_worker_thread()) {
+    // Reentrant call: this worker's sub-tasks would sit in the queue behind
+    // the task it is currently running, and future.get() below would never
+    // return on a saturated (worst case: 1-thread) pool.
+    run_serial(count, fn);
+    return;
+  }
+
+  // One contiguous chunk per worker instead of one queue entry per index:
+  // small per-item bodies are otherwise dominated by packaged_task
+  // allocation and queue-lock traffic.
+  const std::size_t chunk_count = std::min(count, worker_count());
+  const std::size_t chunk = (count + chunk_count - 1) / chunk_count;
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunk_count);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    futures.push_back(submit([&fn, begin, end] {
+      run_serial(end - begin, [&fn, begin](std::size_t k) { fn(begin + k); });
+    }));
   }
   std::exception_ptr first_error;
   for (auto& future : futures) {
@@ -53,6 +97,7 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

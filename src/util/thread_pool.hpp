@@ -1,9 +1,16 @@
 // Fixed-size thread pool with a parallel_for helper.
 //
-// Used to parallelize per-graph explanation work (each graph's computation
-// is seed-isolated, so parallel execution does not perturb determinism).
-// On a single-core machine the pool degrades gracefully to near-serial
-// execution with identical results.
+// Used to parallelize per-graph explanation work and the sparse/dense
+// matrix kernels (each unit of work writes a disjoint output region, so
+// parallel execution does not perturb determinism). On a single-core
+// machine the pool degrades gracefully to near-serial execution with
+// identical results.
+//
+// Reentrancy: parallel_for called from one of this pool's own workers runs
+// inline on the calling thread. A worker that blocked on futures for
+// sub-tasks queued behind its own task would deadlock (most visibly with a
+// 1-thread pool); inline execution preserves results and the exception
+// contract.
 #pragma once
 
 #include <condition_variable>
@@ -28,11 +35,16 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  // True when the calling thread is one of THIS pool's workers.
+  bool in_worker_thread() const;
+
   // Enqueue a task; the returned future rethrows any task exception.
   std::future<void> submit(std::function<void()> task);
 
-  // Runs fn(i) for i in [0, count), blocking until all complete.
-  // Exceptions from tasks are rethrown (the first one encountered).
+  // Runs fn(i) for i in [0, count), blocking until all complete. Indices
+  // are dispatched as at most worker_count() contiguous chunks (one queue
+  // entry per chunk, not per index). Every index is attempted even when an
+  // earlier one throws; the first exception in index order is rethrown.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -10,6 +10,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cfgx {
 namespace {
@@ -52,6 +53,49 @@ TEST(GnnClassifierTest, EmbeddingsAreNonNegative) {
   const Acfg graph = tiny_graph(rng);
   const Matrix z = model.embed(graph.dense_adjacency(), graph.features());
   for (std::size_t i = 0; i < z.size(); ++i) EXPECT_GE(z.data()[i], 0.0);
+}
+
+TEST(GnnClassifierTest, KernelPoolDoesNotChangeResults) {
+  // The CSR kernels partition disjoint output regions across workers, so
+  // the pooled run must be bit-identical to the serial one — Table 3 /
+  // Figure 2 outputs cannot move when a pool is attached.
+  Rng rng(31);
+  GnnClassifier model(tiny_config(), rng);
+  const Acfg graph = tiny_graph(rng);
+
+  const Matrix serial_z = model.embed(graph.dense_adjacency(), graph.features());
+  const Prediction serial_pred = model.predict(graph);
+  const Matrix serial_logits =
+      model.forward_cached(graph.dense_adjacency(), graph.features());
+  model.zero_grad();
+
+  ThreadPool pool(4);
+  model.set_kernel_pool(&pool);
+  EXPECT_EQ(model.embed(graph.dense_adjacency(), graph.features()), serial_z);
+  EXPECT_EQ(model.predict(graph).probabilities, serial_pred.probabilities);
+  EXPECT_EQ(model.forward_cached(graph.dense_adjacency(), graph.features()),
+            serial_logits);
+  model.set_kernel_pool(nullptr);
+}
+
+TEST(GnnClassifierTest, EmbedMatchesDenseLayerReference) {
+  // The classifier's CSR-backed embed must reproduce a hand-rolled dense
+  // pipeline (normalized_adjacency + dense GcnLayer::infer) to 1e-12: the
+  // sparse hot path is a pure representation change.
+  Rng rng(32);
+  GnnClassifier model(tiny_config(), rng);
+  Rng rng_ref(32);  // identical weights for the reference stack
+  GcnLayer l0(kAcfgFeatureCount, 8, rng_ref, "phi_e.gcn0");
+  GcnLayer l1(8, 6, rng_ref, "phi_e.gcn1");
+
+  Rng graph_rng(33);
+  const Acfg graph = tiny_graph(graph_rng);
+  const Matrix adjacency = graph.dense_adjacency();
+  const Matrix a_hat = normalized_adjacency(adjacency, &graph.features());
+  const Matrix reference = l1.infer(a_hat, l0.infer(a_hat, graph.features()));
+
+  EXPECT_TRUE(
+      approx_equal(model.embed(adjacency, graph.features()), reference, 1e-12));
 }
 
 TEST(GnnClassifierTest, PredictionProbabilitiesSumToOne) {

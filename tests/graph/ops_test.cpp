@@ -78,6 +78,30 @@ TEST(NormalizedAdjacencyTest, NonSquareThrows) {
   EXPECT_THROW(normalized_adjacency(Matrix(2, 3)), std::invalid_argument);
 }
 
+TEST(NormalizedAdjacencyCsrTest, MatchesDenseBitForBit) {
+  Rng rng(9);
+  Matrix a(24, 24);
+  for (std::size_t i = 0; i < 24; ++i) {
+    for (std::size_t j = 0; j < 24; ++j) {
+      if (i != j && rng.bernoulli(0.08)) a(i, j) = 1.0;
+    }
+  }
+  std::vector<double> inv_dense, inv_csr;
+  const Matrix dense = normalized_adjacency(a, inv_dense);
+  const CsrMatrix csr = normalized_adjacency_csr(a, inv_csr);
+  EXPECT_EQ(csr.to_dense(), dense);  // identical values, zeros dropped
+  EXPECT_EQ(inv_csr, inv_dense);
+  EXPECT_LT(csr.density(), 0.5);
+}
+
+TEST(NormalizedAdjacencyCsrTest, MaskedNodeHasEmptyRow) {
+  Matrix a = triangle_adjacency();
+  Matrix x(3, 4, 1.0);
+  mask_node(a, x, 1);
+  const CsrMatrix csr = normalized_adjacency_csr(a, &x);
+  EXPECT_EQ(csr.row_ptr()[2] - csr.row_ptr()[1], 0u);  // node 1 stores nothing
+}
+
 TEST(MaskNodeTest, ZeroesRowColumnAndFeatures) {
   Matrix a = triangle_adjacency();
   Matrix x(3, 4, 2.0);

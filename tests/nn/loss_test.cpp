@@ -91,6 +91,27 @@ TEST(CrossEntropyTest, ConfidentCorrectPredictionHasLowLoss) {
   EXPECT_GT(softmax_cross_entropy(logits, {1}).value, 10.0);
 }
 
+TEST(CrossEntropyTest, ExtremeLogitsStayFiniteAndConsistent) {
+  // With ±1e4 logits the target softmax probability underflows to exactly
+  // 0; the probability floor must apply to BOTH the loss value and the
+  // gradient so they describe the same function.
+  const Matrix logits{{1e4, -1e4}};
+  const LossResult result = softmax_cross_entropy(logits, {1});
+  EXPECT_TRUE(std::isfinite(result.value));
+  EXPECT_NEAR(result.value, -std::log(kSoftmaxProbFloor), 1e-6);
+  // Gradient of the floored loss: (max(p, floor) - 1, p_other)/batch.
+  EXPECT_NEAR(result.grad(0, 1), kSoftmaxProbFloor - 1.0, 1e-12);
+  EXPECT_NEAR(result.grad(0, 0), 1.0, 1e-12);
+  for (std::size_t i = 0; i < result.grad.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.grad.data()[i]));
+  }
+
+  // The confident-correct side is untouched by the floor.
+  const LossResult easy = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(easy.value));
+  EXPECT_LT(easy.value, 1e-6);
+}
+
 TEST(CrossEntropyTest, TargetValidation) {
   const Matrix logits(2, 3);
   EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -187,6 +188,31 @@ TEST(MatrixTest, ToStringContainsValues) {
   const std::string s = m.to_string(2);
   EXPECT_NE(s.find("1.50"), std::string::npos);
   EXPECT_NE(s.find("-2.25"), std::string::npos);
+}
+
+TEST(MatrixTest, MatmulPropagatesNonFiniteThroughZeroCoefficients) {
+  // The dense kernels are the IEEE-faithful reference: 0 * NaN and 0 * Inf
+  // must poison the output (no silent zero-skip fast path).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  Matrix b(2, 2, 1.0);
+  b(0, 0) = nan;
+  b(0, 1) = inf;
+
+  const Matrix out = matmul(a, b);
+  EXPECT_TRUE(std::isnan(out(0, 0)));  // 0*NaN + 1*1
+  EXPECT_TRUE(std::isnan(out(0, 1)));  // 0*Inf + 1*1
+  EXPECT_TRUE(std::isnan(out(1, 0)));
+  EXPECT_TRUE(std::isnan(out(1, 1)));
+
+  Matrix a_nan(2, 2);
+  a_nan(1, 0) = nan;
+  const Matrix t = matmul_transpose_a(a_nan, Matrix(2, 3, 1.0));
+  for (std::size_t j = 0; j < t.cols(); ++j) {
+    EXPECT_TRUE(std::isnan(t(0, j)));   // NaN * 1 contributes to row 0
+    EXPECT_EQ(t(1, j), 0.0);            // untouched column stays finite
+  }
 }
 
 TEST(MatrixTest, MatmulAssociativityOnRandomMatrices) {

@@ -64,6 +64,67 @@ TEST(ThreadPoolTest, ParallelForAccumulatesCorrectSum) {
   EXPECT_EQ(total, 999L * 1000L / 2);
 }
 
+// Regression: a parallel_for issued from inside one of the pool's own
+// workers used to deadlock — the worker blocked in future.get() while its
+// sub-tasks sat behind it in the queue. A 1-thread pool makes the hang
+// deterministic; the fix runs reentrant calls inline.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(16);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    pool.parallel_for(4, [&](std::size_t inner) {
+      hits[outer * 4 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromSubmittedTaskCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.submit([&] {
+        pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+      })
+      .get();
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.in_worker_thread());
+  std::atomic<bool> seen_inside{false};
+  pool.submit([&] { seen_inside = pool.in_worker_thread(); }).get();
+  EXPECT_TRUE(seen_inside.load());
+
+  // A different pool's worker is NOT a worker of this pool: its
+  // parallel_for still dispatches to its own queue.
+  ThreadPool other(2);
+  std::atomic<bool> cross{true};
+  other.submit([&] { cross = pool.in_worker_thread(); }).get();
+  EXPECT_FALSE(cross.load());
+}
+
+// Chunked dispatch must preserve the exception contract: every index is
+// attempted and the first error in index order is rethrown.
+TEST(ThreadPoolTest, ChunkedParallelForAttemptsAllIndicesDespiteThrow) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i % 7 == 0) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCountBelowWorkerCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, ManyTasksDrainOnDestruction) {
   std::atomic<int> done{0};
   {
