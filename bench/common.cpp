@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -79,6 +80,28 @@ BenchConfig BenchConfig::from_cli(const CliArgs& args) {
       "explainer-epochs", static_cast<std::int64_t>(config.explainer_epochs)));
   config.eval_per_family = static_cast<std::size_t>(args.get_int(
       "eval-per-family", static_cast<std::int64_t>(config.eval_per_family)));
+
+  // Failing-seed replay hook: when a property/fuzz suite reports a seed,
+  // `--replay-seed S` (or the same CFGX_PROPTEST_SEED variable the test
+  // runner honors) re-derives the bench corpus from that seed so the exact
+  // graphs involved in the failure can be regenerated and profiled. The
+  // explicit flag wins over the environment.
+  std::int64_t replay = args.get_int("replay-seed", -1);
+  if (replay < 0) {
+    if (const char* env = std::getenv("CFGX_PROPTEST_SEED")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end && *end == '\0') replay = static_cast<std::int64_t>(parsed);
+    }
+  }
+  if (replay >= 0) {
+    config.corpus_seed = static_cast<std::uint64_t>(replay);
+    config.fresh = true;  // a cached corpus from another seed would lie
+    std::fprintf(stderr,
+                 "[bench] replaying failing seed %lld as corpus seed "
+                 "(cache bypassed)\n",
+                 static_cast<long long>(replay));
+  }
   return config;
 }
 

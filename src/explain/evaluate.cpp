@@ -10,7 +10,18 @@
 namespace cfgx {
 
 double FamilyCurve::accuracy_at(double fraction) const {
-  if (fractions.empty()) return 0.0;
+  if (fractions.empty()) {
+    throw std::logic_error(
+        "FamilyCurve::accuracy_at: curve has no grid points");
+  }
+  if (fractions.size() != accuracies.size()) {
+    throw std::logic_error(
+        "FamilyCurve::accuracy_at: fractions/accuracies misaligned");
+  }
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {  // rejects NaN too
+    throw std::invalid_argument(
+        "FamilyCurve::accuracy_at: fraction outside [0, 1]");
+  }
   std::size_t best = 0;
   double best_dist = 1e300;
   for (std::size_t i = 0; i < fractions.size(); ++i) {

@@ -41,7 +41,11 @@ struct FamilyCurve {
   double auc = 0.0;
   std::size_t sample_count = 0;
 
-  double accuracy_at(double fraction) const;  // nearest grid point
+  // Accuracy at the nearest grid point. Throws std::logic_error on an
+  // empty/misaligned curve and std::invalid_argument when `fraction` is
+  // outside [0, 1] (including NaN) — a silent nearest-point answer for a
+  // nonsensical request hides caller bugs.
+  double accuracy_at(double fraction) const;
 };
 
 struct ExplainerEvaluation {

@@ -26,6 +26,22 @@ T read_pod(std::istream& in) {
   return value;
 }
 
+// Declared-count guard: throws when a seekable stream demonstrably holds
+// fewer than `needed` bytes (corrupted count headers otherwise trigger a
+// huge reserve/resize before any read fails).
+void require_bytes(std::istream& in, std::uint64_t needed, const char* what) {
+  const auto remaining = stream_bytes_remaining(in);
+  if (remaining && *remaining < needed) {
+    throw SerializationError(std::string(what) +
+                             " exceeds the bytes remaining in the stream");
+  }
+}
+
+// On-wire sizes used by the count guards.
+constexpr std::uint64_t kEdgeBytes = 9;    // u32 src + u32 dst + u8 kind
+constexpr std::uint64_t kMinGraphBytes =   // empty graph, empty family
+    4 + 4 + 16 + 4 + 8 + 4;
+
 }  // namespace
 
 void write_acfg(std::ostream& out, const Acfg& graph) {
@@ -44,7 +60,7 @@ void write_acfg(std::ostream& out, const Acfg& graph) {
   for (std::uint32_t node : graph.planted_nodes()) write_pod(out, node);
 }
 
-Acfg read_acfg(std::istream& in) {
+Acfg read_acfg(std::istream& in) try {
   const auto num_nodes = read_pod<std::uint32_t>(in);
   if (num_nodes > kMaxNodes) {
     throw SerializationError("graph node count implausibly large");
@@ -53,6 +69,9 @@ Acfg read_acfg(std::istream& in) {
   if (num_edges > kMaxNodes * 8u) {
     throw SerializationError("graph edge count implausibly large");
   }
+  require_bytes(in, std::uint64_t{num_edges} * kEdgeBytes, "graph edge list");
+  require_bytes(in, std::uint64_t{num_nodes} * kAcfgFeatureCount * sizeof(double),
+                "graph feature matrix");
 
   Acfg graph(num_nodes, kAcfgFeatureCount);
   for (std::uint32_t i = 0; i < num_edges; ++i) {
@@ -87,6 +106,14 @@ Acfg read_acfg(std::istream& in) {
   }
   graph.validate();
   return graph;
+} catch (const SerializationError&) {
+  throw;
+} catch (const std::exception& e) {
+  // Graph-construction rejections (duplicate edges, out-of-range plants,
+  // broken invariants) surface as std::invalid_argument / std::logic_error;
+  // a malformed byte stream is a serialization problem, so callers see one
+  // exception type regardless of which layer rejected the input.
+  throw SerializationError(std::string("invalid graph in archive: ") + e.what());
 }
 
 void write_acfg_collection(std::ostream& out, const std::vector<Acfg>& graphs) {
@@ -104,6 +131,7 @@ std::vector<Acfg> read_acfg_collection(std::istream& in) {
   }
   const auto count = read_pod<std::uint64_t>(in);
   if (count > kMaxGraphs) throw SerializationError("graph count implausibly large");
+  require_bytes(in, count * kMinGraphBytes, "graph collection");
   std::vector<Acfg> graphs;
   graphs.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) graphs.push_back(read_acfg(in));

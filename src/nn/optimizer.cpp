@@ -1,9 +1,18 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <stdexcept>
 
+#include "nn/serialize.hpp"
+
 namespace cfgx {
+namespace {
+
+constexpr char kAdamMagic[] = "CFGXA001";
+constexpr std::size_t kAdamMagicLen = 8;
+
+}  // namespace
 
 Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
     : params_(std::move(params)), config_(config) {
@@ -41,6 +50,70 @@ void Adam::step() {
 
 void Adam::zero_grad() {
   for (Parameter* p : params_) p->zero_grad();
+}
+
+void Adam::save_state(std::ostream& out) const {
+  out.write(kAdamMagic, kAdamMagicLen);
+  std::uint64_t step_count = step_count_;
+  out.write(reinterpret_cast<const char*>(&step_count), sizeof step_count);
+  std::uint64_t count = params_.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    write_string(out, params_[k]->name);
+    write_matrix(out, first_moment_[k]);
+    write_matrix(out, second_moment_[k]);
+  }
+  if (!out) throw SerializationError("write failure while saving optimizer state");
+}
+
+void Adam::load_state(std::istream& in) {
+  char magic[kAdamMagicLen] = {};
+  in.read(magic, kAdamMagicLen);
+  if (!in || std::string(magic, kAdamMagicLen) != kAdamMagic) {
+    throw SerializationError("bad magic: not a CFGX optimizer archive");
+  }
+  std::uint64_t step_count = 0;
+  in.read(reinterpret_cast<char*>(&step_count), sizeof step_count);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in) throw SerializationError("unexpected end of optimizer archive header");
+  if (count != params_.size()) {
+    throw SerializationError("optimizer archive has " + std::to_string(count) +
+                             " entries, optimizer tracks " +
+                             std::to_string(params_.size()));
+  }
+
+  std::vector<Matrix> first(params_.size());
+  std::vector<Matrix> second(params_.size());
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const std::string name = read_string(in);
+    if (name != params_[k]->name) {
+      throw SerializationError("optimizer archive entry '" + name +
+                               "' does not match parameter '" +
+                               params_[k]->name + "'");
+    }
+    first[k] = read_matrix(in);
+    second[k] = read_matrix(in);
+    if (!first[k].same_shape(params_[k]->value) ||
+        !second[k].same_shape(params_[k]->value)) {
+      throw SerializationError("optimizer moment shape mismatch for '" + name + "'");
+    }
+  }
+  step_count_ = static_cast<std::size_t>(step_count);
+  first_moment_ = std::move(first);
+  second_moment_ = std::move(second);
+}
+
+void Adam::save_state_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializationError("cannot open '" + path + "' for writing");
+  save_state(out);
+}
+
+void Adam::load_state_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializationError("cannot open '" + path + "' for reading");
+  load_state(in);
 }
 
 }  // namespace cfgx

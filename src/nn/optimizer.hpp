@@ -3,6 +3,8 @@
 // line 15).
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -30,6 +32,17 @@ class Adam {
 
   std::size_t step_count() const { return step_count_; }
   const AdamConfig& config() const { return config_; }
+
+  // Checkpointing of the optimizer state (step count + both moment
+  // estimates, keyed by parameter name). Resuming training from a saved
+  // (parameters, optimizer state) pair continues the exact trajectory:
+  // save -> load -> step produces bit-identical weights on both copies.
+  // load_state throws SerializationError when the archive does not match
+  // this optimizer's parameters (missing name, shape mismatch, bad magic).
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+  void save_state_file(const std::string& path) const;
+  void load_state_file(const std::string& path);
 
  private:
   std::vector<Parameter*> params_;

@@ -27,7 +27,31 @@ std::uint64_t read_u64(std::istream& in) {
   return value;
 }
 
+// Throws when the stream is seekable and demonstrably holds fewer than
+// `needed` bytes (`what` names the field for the error message). A
+// non-seekable stream falls back to the read-then-check path.
+void require_bytes(std::istream& in, std::uint64_t needed, const char* what) {
+  const auto remaining = stream_bytes_remaining(in);
+  if (remaining && *remaining < needed) {
+    throw SerializationError(std::string(what) +
+                             " exceeds the bytes remaining in the stream");
+  }
+}
+
 }  // namespace
+
+std::optional<std::uint64_t> stream_bytes_remaining(std::istream& in) {
+  const std::istream::pos_type current = in.tellg();
+  if (current == std::istream::pos_type(-1)) {
+    in.clear(in.rdstate() & ~std::ios::failbit);
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(current);
+  if (end == std::istream::pos_type(-1) || end < current) return std::nullopt;
+  return static_cast<std::uint64_t>(end - current);
+}
 
 void write_matrix(std::ostream& out, const Matrix& matrix) {
   write_u64(out, matrix.rows());
@@ -42,6 +66,9 @@ Matrix read_matrix(std::istream& in) {
   if (rows > kMaxDim || cols > kMaxDim) {
     throw SerializationError("matrix dimensions implausibly large");
   }
+  // Per-dimension caps still admit a 2^48-element product; check the
+  // declared payload against the stream before allocating.
+  require_bytes(in, rows * cols * sizeof(double), "matrix payload");
   Matrix out(rows, cols);
   in.read(reinterpret_cast<char*>(out.data()),
           static_cast<std::streamsize>(out.size() * sizeof(double)));
@@ -59,6 +86,7 @@ std::string read_string(std::istream& in) {
   if (length > kMaxStringLen) {
     throw SerializationError("string length implausibly large");
   }
+  require_bytes(in, length, "string payload");
   std::string value(length, '\0');
   in.read(value.data(), static_cast<std::streamsize>(length));
   if (!in) throw SerializationError("unexpected end of stream reading string");
@@ -83,6 +111,8 @@ void load_parameters(std::istream& in, const std::vector<Parameter*>& params) {
   }
   const std::uint64_t count = read_u64(in);
   if (count > kMaxEntries) throw SerializationError("entry count implausibly large");
+  // Each entry needs at least a string header + matrix header (24 bytes).
+  require_bytes(in, count * 24, "parameter entries");
 
   std::map<std::string, Matrix> loaded;
   for (std::uint64_t i = 0; i < count; ++i) {

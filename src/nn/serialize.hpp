@@ -10,7 +10,9 @@
 // failure-injection tests).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -24,6 +26,12 @@ class SerializationError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+// Bytes left between the stream's read position and its end, or nullopt for
+// non-seekable streams. Readers use it to validate a declared count/length
+// against the bytes actually present BEFORE allocating, so a corrupted
+// header throws SerializationError instead of attempting a huge resize.
+std::optional<std::uint64_t> stream_bytes_remaining(std::istream& in);
 
 void write_matrix(std::ostream& out, const Matrix& matrix);
 Matrix read_matrix(std::istream& in);

@@ -1,0 +1,130 @@
+#include "proptest/fuzz.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "proptest/proptest.hpp"
+
+namespace cfgx::proptest {
+namespace {
+
+// Boundary values a corrupted u64 length/count field is most likely to
+// expose: zero, off-by-one, and the allocation-bomb magnitudes.
+constexpr std::uint64_t kInterestingU64[] = {
+    0ULL,
+    1ULL,
+    2ULL,
+    0xffULL,
+    1ULL << 16,
+    1ULL << 24,
+    (1ULL << 31) - 1,
+    1ULL << 32,
+    1ULL << 48,
+    (1ULL << 63) - 1,
+    ~0ULL,
+};
+
+}  // namespace
+
+std::string mutate_bytes(std::string bytes, Rng& rng) {
+  if (bytes.empty()) return bytes;
+  switch (rng.uniform_index(7)) {
+    case 0: {  // single bit flip
+      const std::size_t pos = rng.uniform_index(bytes.size());
+      bytes[pos] = static_cast<char>(
+          static_cast<unsigned char>(bytes[pos]) ^ (1u << rng.uniform_index(8)));
+      break;
+    }
+    case 1: {  // byte rewrite
+      bytes[rng.uniform_index(bytes.size())] =
+          static_cast<char>(rng.uniform_index(256));
+      break;
+    }
+    case 2: {  // truncate a random tail
+      bytes.resize(rng.uniform_index(bytes.size()));
+      break;
+    }
+    case 3: {  // drop an interior chunk
+      const std::size_t begin = rng.uniform_index(bytes.size());
+      const std::size_t len = 1 + rng.uniform_index(bytes.size() - begin);
+      bytes.erase(begin, len);
+      break;
+    }
+    case 4: {  // duplicate an interior chunk (grows the buffer)
+      const std::size_t begin = rng.uniform_index(bytes.size());
+      const std::size_t len =
+          1 + rng.uniform_index(std::min<std::size_t>(bytes.size() - begin, 64));
+      bytes.insert(begin, bytes.substr(begin, len));
+      break;
+    }
+    case 5: {  // overwrite an aligned u64 with a boundary value (length fields)
+      if (bytes.size() >= sizeof(std::uint64_t)) {
+        const std::size_t slots = bytes.size() / sizeof(std::uint64_t);
+        const std::size_t offset = rng.uniform_index(slots) * sizeof(std::uint64_t);
+        const std::uint64_t value =
+            kInterestingU64[rng.uniform_index(std::size(kInterestingU64))];
+        std::memcpy(bytes.data() + offset, &value, sizeof value);
+      }
+      break;
+    }
+    case 6: {  // magic mutation: perturb one of the leading 8 bytes
+      const std::size_t pos =
+          rng.uniform_index(std::min<std::size_t>(bytes.size(), 8));
+      bytes[pos] = static_cast<char>(rng.uniform_index(256));
+      break;
+    }
+  }
+  return bytes;
+}
+
+FuzzOutcome fuzz_bytes(const std::vector<std::string>& corpus,
+                       const std::function<void(const std::string&)>& consumer,
+                       const FuzzConfig& config) {
+  if (corpus.empty()) throw std::invalid_argument("fuzz_bytes: empty corpus");
+
+  const auto replay = replay_seed_from_env();
+  const std::size_t iterations =
+      replay ? 1 : config.iterations * iteration_multiplier_from_env();
+
+  FuzzOutcome outcome;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t case_seed =
+        replay ? *replay : derive_case_seed(config.seed, i);
+    Rng rng(case_seed);
+    std::string bytes = corpus[rng.uniform_index(corpus.size())];
+    const std::size_t mutations = 1 + rng.uniform_index(config.max_stacked_mutations);
+    for (std::size_t m = 0; m < mutations; ++m) bytes = mutate_bytes(std::move(bytes), rng);
+    ++outcome.iterations_run;
+
+    try {
+      consumer(bytes);
+      ++outcome.accepted;
+    } catch (const SerializationError&) {
+      ++outcome.rejected;
+    } catch (const std::exception& e) {
+      outcome.passed = false;
+      outcome.failing_seed = case_seed;
+      outcome.failure_message =
+          std::string("consumer threw non-SerializationError: ") + e.what();
+      outcome.failing_bytes = std::move(bytes);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+std::string FuzzOutcome::report() const {
+  std::ostringstream out;
+  if (passed) {
+    out << "fuzz passed: " << iterations_run << " case(s), " << accepted
+        << " accepted, " << rejected << " rejected";
+    return out.str();
+  }
+  out << "fuzz failed after " << iterations_run << " case(s): " << failure_message
+      << "\ninput: " << debug_string(failing_bytes)
+      << "\nreplay with: CFGX_PROPTEST_SEED=" << failing_seed;
+  return out.str();
+}
+
+}  // namespace cfgx::proptest

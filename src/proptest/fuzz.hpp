@@ -1,0 +1,52 @@
+// Structure-aware mutational fuzzing for the binary serializers.
+//
+// Every iteration picks a valid buffer from the caller's corpus, stacks a
+// few random mutations on it (bit flips, byte rewrites, truncations,
+// chunk drops/duplications, 8-byte length-field overwrites with boundary
+// values, magic rewrites) and feeds it to the consumer. The consumer must
+// either accept the buffer (return) or reject it by throwing
+// SerializationError; any other exception — or a crash, caught by the
+// sanitizer jobs — fails the run. Like check_property, a failure is fully
+// described by one case seed replayable via CFGX_PROPTEST_SEED.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cfgx::proptest {
+
+struct FuzzConfig {
+  std::size_t iterations = 10000;
+  std::uint64_t seed = 0xfa22'5eed'0002ULL;
+  // Mutations stacked per case: uniform in [1, max_stacked_mutations].
+  std::size_t max_stacked_mutations = 4;
+};
+
+struct FuzzOutcome {
+  bool passed = true;
+  std::size_t iterations_run = 0;
+  std::size_t accepted = 0;  // consumer returned normally
+  std::size_t rejected = 0;  // consumer threw SerializationError
+  // Valid when !passed:
+  std::uint64_t failing_seed = 0;
+  std::string failure_message;
+  std::string failing_bytes;
+
+  std::string report() const;
+};
+
+// Applies one random mutation; exposed for tests and corpus building.
+std::string mutate_bytes(std::string bytes, Rng& rng);
+
+// Runs the consumer over `iterations` mutated buffers (CFGX_PROPTEST_ITERS
+// multiplies, CFGX_PROPTEST_SEED replays one case). The corpus must be
+// non-empty; buffers are chosen uniformly per case.
+FuzzOutcome fuzz_bytes(const std::vector<std::string>& corpus,
+                       const std::function<void(const std::string&)>& consumer,
+                       const FuzzConfig& config = {});
+
+}  // namespace cfgx::proptest

@@ -1,0 +1,217 @@
+#include "proptest/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dataset/families.hpp"
+
+namespace cfgx::proptest {
+namespace {
+
+// Rebuilds a graph from explicit parts (the shrink helpers edit parts, not
+// the Acfg, so invariants are re-established through the public API).
+Acfg build_acfg(std::uint32_t num_nodes, const std::vector<Edge>& edges,
+                const Matrix& features, int label,
+                const std::vector<std::uint32_t>& planted) {
+  Acfg graph(num_nodes, features.cols());
+  for (const Edge& e : edges) {
+    if (e.src < num_nodes && e.dst < num_nodes && !graph.has_edge(e.src, e.dst)) {
+      graph.add_edge(e.src, e.dst, e.kind);
+    }
+  }
+  Matrix trimmed(num_nodes, features.cols());
+  for (std::uint32_t r = 0; r < num_nodes && r < features.rows(); ++r) {
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      trimmed(r, c) = features(r, c);
+    }
+  }
+  graph.features() = std::move(trimmed);
+  graph.set_label(label);
+  std::set<std::uint32_t> unique_planted;
+  for (std::uint32_t v : planted) {
+    if (v < num_nodes) unique_planted.insert(v);
+  }
+  for (std::uint32_t v : unique_planted) graph.mark_planted(v);
+  return graph;
+}
+
+}  // namespace
+
+Gen<Matrix> matrices(std::size_t max_rows, std::size_t max_cols,
+                     double amplitude) {
+  if (max_rows == 0 || max_cols == 0) {
+    throw std::invalid_argument("proptest::matrices: zero max dimension");
+  }
+  Gen<Matrix> gen;
+  gen.generate = [max_rows, max_cols, amplitude](Rng& rng) {
+    const std::size_t rows = 1 + rng.uniform_index(max_rows);
+    const std::size_t cols = 1 + rng.uniform_index(max_cols);
+    Matrix out(rows, cols);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] = rng.uniform(-amplitude, amplitude);
+    }
+    return out;
+  };
+  gen.shrink = [](const Matrix& value) {
+    std::vector<Matrix> out;
+    if (value.rows() > 1) {
+      Matrix fewer_rows(value.rows() - 1, value.cols());
+      for (std::size_t r = 0; r < fewer_rows.rows(); ++r) {
+        for (std::size_t c = 0; c < fewer_rows.cols(); ++c) {
+          fewer_rows(r, c) = value(r, c);
+        }
+      }
+      out.push_back(std::move(fewer_rows));
+    }
+    if (value.cols() > 1) {
+      Matrix fewer_cols(value.rows(), value.cols() - 1);
+      for (std::size_t r = 0; r < fewer_cols.rows(); ++r) {
+        for (std::size_t c = 0; c < fewer_cols.cols(); ++c) {
+          fewer_cols(r, c) = value(r, c);
+        }
+      }
+      out.push_back(std::move(fewer_cols));
+    }
+    // Zero the largest-magnitude entry (drives values toward the all-zero
+    // matrix one element at a time).
+    std::size_t largest = value.size();
+    double largest_abs = 0.0;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const double a = std::abs(value.data()[i]);
+      if (a > largest_abs) {
+        largest_abs = a;
+        largest = i;
+      }
+    }
+    if (largest < value.size()) {
+      Matrix zeroed = value;
+      zeroed.data()[largest] = 0.0;
+      out.push_back(std::move(zeroed));
+    }
+    return out;
+  };
+  return gen;
+}
+
+Gen<Acfg> acfgs(std::uint32_t max_nodes, double edge_prob,
+                double feature_amplitude) {
+  if (max_nodes == 0) throw std::invalid_argument("proptest::acfgs: max_nodes == 0");
+  Gen<Acfg> gen;
+  gen.generate = [max_nodes, edge_prob, feature_amplitude](Rng& rng) {
+    const auto num_nodes =
+        static_cast<std::uint32_t>(1 + rng.uniform_index(max_nodes));
+    Acfg graph(num_nodes);
+    for (std::uint32_t src = 0; src < num_nodes; ++src) {
+      for (std::uint32_t dst = 0; dst < num_nodes; ++dst) {
+        if (!rng.bernoulli(edge_prob)) continue;
+        graph.add_edge(src, dst,
+                       rng.bernoulli(0.2) ? EdgeKind::Call : EdgeKind::Flow);
+      }
+    }
+    for (std::size_t i = 0; i < graph.features().size(); ++i) {
+      graph.features().data()[i] =
+          rng.uniform(-feature_amplitude, feature_amplitude);
+    }
+    graph.set_label(static_cast<int>(rng.uniform_index(kFamilyCount)));
+    graph.set_family(to_string(family_from_label(graph.label())));
+    const std::size_t plants = rng.uniform_index(num_nodes + 1) / 4;
+    for (std::uint32_t v : rng.sample_indices(num_nodes, plants)) {
+      graph.mark_planted(v);
+    }
+    return graph;
+  };
+  gen.shrink = [](const Acfg& value) {
+    std::vector<Acfg> out;
+    // Drop the last node (incident edges and plants go with it).
+    if (value.num_nodes() > 1) {
+      out.push_back(build_acfg(value.num_nodes() - 1, value.edges(),
+                               value.features(), value.label(),
+                               value.planted_nodes()));
+    }
+    // Drop single edges (bounded fan-out).
+    const std::size_t edge_positions = std::min<std::size_t>(value.num_edges(), 24);
+    for (std::size_t i = 0; i < edge_positions; ++i) {
+      std::vector<Edge> fewer = value.edges();
+      fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(build_acfg(value.num_nodes(), fewer, value.features(),
+                               value.label(), value.planted_nodes()));
+    }
+    // Zero the largest feature entry.
+    const Matrix& features = value.features();
+    std::size_t largest = features.size();
+    double largest_abs = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      const double a = std::abs(features.data()[i]);
+      if (a > largest_abs) {
+        largest_abs = a;
+        largest = i;
+      }
+    }
+    if (largest < features.size()) {
+      Matrix zeroed = features;
+      zeroed.data()[largest] = 0.0;
+      out.push_back(build_acfg(value.num_nodes(), value.edges(), zeroed,
+                               value.label(), value.planted_nodes()));
+    }
+    return out;
+  };
+  return gen;
+}
+
+Gen<Acfg> family_acfgs(GeneratorConfig config) {
+  Gen<Acfg> gen;
+  gen.generate = [config](Rng& rng) {
+    const Family family = kAllFamilies[rng.uniform_index(kFamilyCount)];
+    return generate_acfg(family, rng, config);
+  };
+  return gen;
+}
+
+Gen<Program> programs(GeneratorConfig config) {
+  Gen<Program> gen;
+  gen.generate = [config](Rng& rng) {
+    const Family family = kAllFamilies[rng.uniform_index(kFamilyCount)];
+    return generate_program(family, rng, config).program;
+  };
+  return gen;
+}
+
+}  // namespace cfgx::proptest
+
+namespace cfgx {
+
+std::string debug_string(const Matrix& value) {
+  std::ostringstream out;
+  out << "Matrix " << value.rows() << "x" << value.cols();
+  if (value.size() > 0 && value.size() <= 64) {
+    out << "\n" << value.to_string(6);
+  } else if (value.size() > 0) {
+    out << " (max|x| = " << value.max_abs() << ")";
+  }
+  return out.str();
+}
+
+std::string debug_string(const Acfg& value) {
+  std::ostringstream out;
+  out << "Acfg{nodes=" << value.num_nodes() << ", edges=" << value.num_edges()
+      << ", label=" << value.label() << ", family=" << value.family()
+      << ", plants=" << value.planted_nodes().size() << "}";
+  if (value.num_edges() > 0 && value.num_edges() <= 32) {
+    out << " edges:";
+    for (const Edge& e : value.edges()) {
+      out << " " << e.src << (e.kind == EdgeKind::Call ? "=>" : "->") << e.dst;
+    }
+  }
+  return out.str();
+}
+
+std::string debug_string(const Program& value) {
+  std::ostringstream out;
+  out << "Program{" << value.size() << " instruction(s), " << value.labels().size()
+      << " label(s)}";
+  if (value.size() <= 48) out << "\n" << value.to_string();
+  return out.str();
+}
+
+}  // namespace cfgx

@@ -1,0 +1,48 @@
+// Domain generators for the repository's core value types: Matrix, Acfg,
+// and Program. Built on the primitive combinators of proptest.hpp so the
+// same shrinking / seed-replay machinery applies to whole graphs.
+#pragma once
+
+#include "dataset/generator.hpp"
+#include "graph/acfg.hpp"
+#include "isa/program.hpp"
+#include "nn/matrix.hpp"
+#include "proptest/proptest.hpp"
+
+namespace cfgx::proptest {
+
+// Dense matrix with uniform entries in [-amplitude, amplitude), rows in
+// [1, max_rows], cols in [1, max_cols]. Shrinks by dropping the last
+// row/column and zeroing the largest-magnitude entry.
+Gen<Matrix> matrices(std::size_t max_rows, std::size_t max_cols,
+                     double amplitude = 1.0);
+
+// Arbitrary ACFG: node count in [1, max_nodes], each ordered node pair is
+// an edge with probability edge_prob (kind Flow or Call at random),
+// features uniform in [-feature_amplitude, feature_amplitude), random label
+// and planted nodes. Shrinks by dropping the last node (with incident
+// edges), dropping single edges, and zeroing feature entries.
+Gen<Acfg> acfgs(std::uint32_t max_nodes = 24, double edge_prob = 0.15,
+                double feature_amplitude = 4.0);
+
+// Realistic corpus graph: a uniformly chosen family run through the full
+// generate->lift->features pipeline. Not shrinkable (the generator is a
+// black box in (family, seed)); use `acfgs` when shrinking matters.
+Gen<Acfg> family_acfgs(GeneratorConfig config = {});
+
+// Realistic program (assembly listing) for a uniformly chosen family.
+Gen<Program> programs(GeneratorConfig config = {});
+
+}  // namespace cfgx::proptest
+
+namespace cfgx {
+
+// Failure-report rendering for the domain types. Declared in the types'
+// own namespace so proptest's generic containers (vectors of graphs,
+// pairs of matrices, ...) can reach them through argument-dependent
+// lookup from the debug_string templates in proptest.hpp.
+std::string debug_string(const Matrix& value);
+std::string debug_string(const Acfg& value);
+std::string debug_string(const Program& value);
+
+}  // namespace cfgx

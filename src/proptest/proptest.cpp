@@ -1,0 +1,120 @@
+#include "proptest/proptest.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+
+namespace cfgx::proptest {
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const char* text) {
+  if (!text || !*text) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> replay_seed_from_env() {
+  return parse_u64(std::getenv("CFGX_PROPTEST_SEED"));
+}
+
+std::size_t iteration_multiplier_from_env() {
+  const auto value = parse_u64(std::getenv("CFGX_PROPTEST_ITERS"));
+  if (!value || *value == 0) return 1;
+  return static_cast<std::size_t>(*value);
+}
+
+std::uint64_t derive_case_seed(std::uint64_t base_seed, std::size_t iteration) {
+  // splitmix64 over (base, i): neighbouring iterations get uncorrelated
+  // streams and seed 0 is as good as any other.
+  std::uint64_t state = base_seed + 0x9e3779b97f4a7c15ULL * (iteration + 1);
+  return splitmix64(state);
+}
+
+Gen<std::int64_t> integers(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("proptest::integers: lo > hi");
+  Gen<std::int64_t> gen;
+  gen.generate = [lo, hi](Rng& rng) { return rng.uniform_int(lo, hi); };
+  // Shrink toward the in-range value closest to zero.
+  const std::int64_t origin = lo > 0 ? lo : (hi < 0 ? hi : 0);
+  gen.shrink = [origin](const std::int64_t& value) {
+    std::vector<std::int64_t> out;
+    if (value == origin) return out;
+    out.push_back(origin);
+    const std::int64_t half = origin + (value - origin) / 2;
+    if (half != origin && half != value) out.push_back(half);
+    const std::int64_t step = value > origin ? value - 1 : value + 1;
+    if (step != origin && step != half) out.push_back(step);
+    return out;
+  };
+  return gen;
+}
+
+Gen<std::size_t> sizes(std::size_t lo, std::size_t hi) {
+  if (lo > hi) throw std::invalid_argument("proptest::sizes: lo > hi");
+  Gen<std::size_t> gen;
+  gen.generate = [lo, hi](Rng& rng) { return lo + rng.uniform_index(hi - lo + 1); };
+  gen.shrink = [lo](const std::size_t& value) {
+    std::vector<std::size_t> out;
+    if (value == lo) return out;
+    out.push_back(lo);
+    const std::size_t half = lo + (value - lo) / 2;
+    if (half != lo && half != value) out.push_back(half);
+    if (value - 1 != lo && value - 1 != half) out.push_back(value - 1);
+    return out;
+  };
+  return gen;
+}
+
+Gen<double> doubles(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("proptest::doubles: lo >= hi");
+  Gen<double> gen;
+  gen.generate = [lo, hi](Rng& rng) { return rng.uniform(lo, hi); };
+  const double origin = lo > 0.0 ? lo : (hi <= 0.0 ? hi : 0.0);
+  gen.shrink = [origin](const double& value) {
+    std::vector<double> out;
+    if (value == origin) return out;
+    out.push_back(origin);
+    const double half = origin + (value - origin) / 2.0;
+    if (half != origin && half != value) out.push_back(half);
+    const double truncated = std::trunc(value);
+    if (truncated != value && truncated != origin && truncated != half) {
+      out.push_back(truncated);
+    }
+    return out;
+  };
+  return gen;
+}
+
+std::string debug_string(std::int64_t value) { return std::to_string(value); }
+
+std::string debug_string(std::uint64_t value) { return std::to_string(value); }
+
+std::string debug_string(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+std::string debug_string(const std::string& value) {
+  std::ostringstream out;
+  out << value.size() << " byte(s): \"";
+  const std::size_t shown = std::min<std::size_t>(value.size(), 96);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const unsigned char c = static_cast<unsigned char>(value[i]);
+    if (c >= 0x20 && c < 0x7f && c != '"' && c != '\\') {
+      out << static_cast<char>(c);
+    } else {
+      out << "\\x" << std::hex << std::setw(2) << std::setfill('0')
+          << static_cast<unsigned>(c) << std::dec << std::setfill(' ');
+    }
+  }
+  if (shown < value.size()) out << "...";
+  out << "\"";
+  return out.str();
+}
+
+}  // namespace cfgx::proptest

@@ -1,0 +1,321 @@
+// Property-based testing: typed generator combinators over cfgx::Rng,
+// greedy shrinking, and deterministic failing-seed replay.
+//
+// A property is checked over `iterations` generated cases. Case i draws its
+// value from Rng(case_seed_i) where case_seed_i is derived from the base
+// seed, so a failure is fully described by ONE 64-bit number: re-running
+// with CFGX_PROPTEST_SEED=<that number> regenerates the exact failing value
+// (no corpus files, no global state). On failure the runner greedily shrinks
+// the counterexample through the generator's candidate function and reports
+// the minimal value that still fails.
+//
+// Environment knobs (read once per check):
+//   CFGX_PROPTEST_SEED=<u64>   replay exactly this case seed (1 iteration)
+//   CFGX_PROPTEST_ITERS=<k>    multiply iteration counts by k (CI soak runs)
+//
+// Usage with gtest:
+//   CHECK_PROPERTY("sort is idempotent", proptest::vectors(proptest::integers(-9, 9)),
+//                  [](std::vector<std::int64_t> v) {
+//                    std::sort(v.begin(), v.end());
+//                    auto once = v;
+//                    std::sort(v.begin(), v.end());
+//                    return v == once;
+//                  });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cfgx::proptest {
+
+// A generator bundles the sampling function with a shrink-candidate
+// function. Candidates must be "smaller" values ordered most-aggressive
+// first; the runner keeps the first candidate that still fails and repeats.
+// An empty candidate list terminates shrinking.
+template <typename T>
+struct Gen {
+  using value_type = T;
+
+  std::function<T(Rng&)> generate;
+  std::function<std::vector<T>(const T&)> shrink =
+      [](const T&) { return std::vector<T>{}; };
+};
+
+struct PropertyConfig {
+  std::size_t iterations = 200;
+  // Base seed for case-seed derivation; distinct properties in one binary
+  // may share it (case values still differ through the generator).
+  std::uint64_t seed = 0xcf6e'5eed'0001ULL;
+  // Upper bound on property evaluations spent shrinking one failure.
+  std::size_t max_shrink_steps = 2000;
+};
+
+// Environment overrides, applied by check_property:
+//   replay seed (nullopt when CFGX_PROPTEST_SEED is unset / unparsable)
+std::optional<std::uint64_t> replay_seed_from_env();
+//   iteration multiplier (1 when CFGX_PROPTEST_ITERS is unset / unparsable)
+std::size_t iteration_multiplier_from_env();
+
+// Derives the i-th case seed from the base seed (splitmix64 chain, so
+// neighbouring iterations get uncorrelated generator streams).
+std::uint64_t derive_case_seed(std::uint64_t base_seed, std::size_t iteration);
+
+template <typename T>
+struct PropertyOutcome {
+  bool passed = true;
+  std::size_t iterations_run = 0;
+  // Valid when !passed:
+  std::uint64_t failing_seed = 0;
+  std::size_t shrink_steps = 0;      // accepted shrinks (not candidates tried)
+  std::optional<T> counterexample;   // minimal shrunk failing value
+  std::string failure_message;       // from the property (exception text)
+
+  // Human-readable failure report including the replay instructions.
+  // `render` turns the counterexample into text.
+  std::string report(const std::function<std::string(const T&)>& render) const {
+    if (passed) return "property passed";
+    std::ostringstream out;
+    out << "property failed after " << iterations_run << " case(s)";
+    if (!failure_message.empty()) out << ": " << failure_message;
+    out << "\nminimal counterexample (after " << shrink_steps << " shrink step(s)):\n";
+    if (counterexample) out << render(*counterexample);
+    out << "\nreplay with: CFGX_PROPTEST_SEED=" << failing_seed;
+    return out.str();
+  }
+};
+
+namespace detail {
+
+// Evaluates the property on one value; any exception counts as a failure
+// and its message is captured.
+template <typename T, typename Property>
+bool holds(const Property& property, const T& value, std::string& message) {
+  try {
+    if (property(value)) return true;
+    message = "property returned false";
+    return false;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return false;
+  }
+}
+
+}  // namespace detail
+
+// Runs the property over generated cases. Deterministic in (config, env).
+template <typename T, typename Property>
+PropertyOutcome<T> check_property(const Gen<T>& gen, const Property& property,
+                                  PropertyConfig config = {}) {
+  const auto replay = replay_seed_from_env();
+  std::size_t iterations = replay ? 1 : config.iterations * iteration_multiplier_from_env();
+
+  PropertyOutcome<T> outcome;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t case_seed =
+        replay ? *replay : derive_case_seed(config.seed, i);
+    Rng rng(case_seed);
+    T value = gen.generate(rng);
+    ++outcome.iterations_run;
+
+    std::string message;
+    if (detail::holds(property, value, message)) continue;
+
+    // Failure: greedily shrink. A candidate that also fails becomes the
+    // current counterexample; restart from its own candidate list.
+    outcome.passed = false;
+    outcome.failing_seed = case_seed;
+    outcome.failure_message = message;
+    std::size_t budget = config.max_shrink_steps;
+    bool made_progress = true;
+    while (made_progress && budget > 0) {
+      made_progress = false;
+      for (T& candidate : gen.shrink(value)) {
+        if (budget == 0) break;
+        --budget;
+        std::string candidate_message;
+        if (!detail::holds(property, candidate, candidate_message)) {
+          value = std::move(candidate);
+          outcome.failure_message = candidate_message;
+          ++outcome.shrink_steps;
+          made_progress = true;
+          break;
+        }
+      }
+    }
+    outcome.counterexample = std::move(value);
+    return outcome;
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive generators & combinators
+// ---------------------------------------------------------------------------
+
+// Uniform integer in [lo, hi], shrinking toward the in-range value closest
+// to zero.
+Gen<std::int64_t> integers(std::int64_t lo, std::int64_t hi);
+
+// Uniform size in [lo, hi], shrinking toward lo.
+Gen<std::size_t> sizes(std::size_t lo, std::size_t hi);
+
+// Uniform double in [lo, hi), shrinking toward the in-range value closest
+// to zero (then toward shorter decimal representations via truncation).
+Gen<double> doubles(double lo, double hi);
+
+// One of the given values; shrinks toward earlier list positions.
+template <typename T>
+Gen<T> elements(std::vector<T> choices) {
+  if (choices.empty()) throw std::invalid_argument("proptest::elements: empty");
+  auto shared = std::make_shared<std::vector<T>>(std::move(choices));
+  Gen<T> gen;
+  gen.generate = [shared](Rng& rng) {
+    return (*shared)[rng.uniform_index(shared->size())];
+  };
+  gen.shrink = [shared](const T& value) {
+    std::vector<T> out;
+    for (const T& choice : *shared) {
+      if (choice == value) break;
+      out.push_back(choice);
+    }
+    return out;
+  };
+  return gen;
+}
+
+// Vector of elem-generated values with size uniform in [min_size, max_size].
+// Shrinks by dropping the back half, dropping single elements, and
+// shrinking individual elements (bounded fan-out per step).
+template <typename T>
+Gen<std::vector<T>> vectors(Gen<T> elem, std::size_t min_size = 0,
+                            std::size_t max_size = 16) {
+  if (min_size > max_size) {
+    throw std::invalid_argument("proptest::vectors: min_size > max_size");
+  }
+  auto shared = std::make_shared<Gen<T>>(std::move(elem));
+  Gen<std::vector<T>> gen;
+  gen.generate = [shared, min_size, max_size](Rng& rng) {
+    const std::size_t n =
+        min_size + rng.uniform_index(max_size - min_size + 1);
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(shared->generate(rng));
+    return out;
+  };
+  gen.shrink = [shared, min_size](const std::vector<T>& value) {
+    std::vector<std::vector<T>> out;
+    // Halve from the back (aggressive first).
+    if (value.size() > min_size) {
+      const std::size_t keep =
+          std::max(min_size, value.size() - (value.size() - min_size + 1) / 2);
+      out.emplace_back(value.begin(), value.begin() + static_cast<std::ptrdiff_t>(keep));
+    }
+    // Drop one element at a time (bounded).
+    constexpr std::size_t kMaxPositions = 24;
+    if (value.size() > min_size) {
+      const std::size_t positions = std::min(value.size(), kMaxPositions);
+      for (std::size_t i = 0; i < positions; ++i) {
+        std::vector<T> smaller = value;
+        smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(smaller));
+      }
+    }
+    // Shrink individual elements in place.
+    const std::size_t positions = std::min(value.size(), kMaxPositions);
+    for (std::size_t i = 0; i < positions; ++i) {
+      for (T& candidate : shared->shrink(value[i])) {
+        std::vector<T> mutated = value;
+        mutated[i] = std::move(candidate);
+        out.push_back(std::move(mutated));
+      }
+    }
+    return out;
+  };
+  return gen;
+}
+
+// Applies fn to generated values. Shrinking does not survive the mapping
+// (fn has no inverse); compose before mapping when shrinking matters.
+template <typename T, typename Fn>
+auto map(Gen<T> inner, Fn fn) -> Gen<decltype(fn(std::declval<T>()))> {
+  using U = decltype(fn(std::declval<T>()));
+  auto shared = std::make_shared<Gen<T>>(std::move(inner));
+  Gen<U> gen;
+  gen.generate = [shared, fn](Rng& rng) { return fn(shared->generate(rng)); };
+  return gen;
+}
+
+// Pair of two independent generators; shrinks each side independently.
+template <typename A, typename B>
+Gen<std::pair<A, B>> pairs(Gen<A> first, Gen<B> second) {
+  auto fa = std::make_shared<Gen<A>>(std::move(first));
+  auto fb = std::make_shared<Gen<B>>(std::move(second));
+  Gen<std::pair<A, B>> gen;
+  gen.generate = [fa, fb](Rng& rng) {
+    // Evaluation order of pair-brace elements is unspecified; force it.
+    A a = fa->generate(rng);
+    B b = fb->generate(rng);
+    return std::pair<A, B>{std::move(a), std::move(b)};
+  };
+  gen.shrink = [fa, fb](const std::pair<A, B>& value) {
+    std::vector<std::pair<A, B>> out;
+    for (A& a : fa->shrink(value.first)) out.emplace_back(std::move(a), value.second);
+    for (B& b : fb->shrink(value.second)) out.emplace_back(value.first, std::move(b));
+    return out;
+  };
+  return gen;
+}
+
+// ---------------------------------------------------------------------------
+// Debug rendering for failure reports
+// ---------------------------------------------------------------------------
+
+std::string debug_string(std::int64_t value);
+std::string debug_string(std::uint64_t value);
+std::string debug_string(double value);
+std::string debug_string(const std::string& value);  // hex-escaped bytes
+
+template <typename T>
+std::string debug_string(const std::vector<T>& value) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (i) out << ", ";
+    if (i == 32) {
+      out << "... (" << value.size() << " total)";
+      break;
+    }
+    out << debug_string(value[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+template <typename A, typename B>
+std::string debug_string(const std::pair<A, B>& value) {
+  return "(" + debug_string(value.first) + ", " + debug_string(value.second) + ")";
+}
+
+}  // namespace cfgx::proptest
+
+// Runs a property under gtest: on failure the test fails with the shrunk
+// counterexample and the CFGX_PROPTEST_SEED replay line.
+#define CHECK_PROPERTY(name, gen, ...)                                        \
+  do {                                                                        \
+    const auto& check_property_gen_ = (gen);                                  \
+    auto check_property_outcome_ =                                            \
+        ::cfgx::proptest::check_property(check_property_gen_, __VA_ARGS__);   \
+    ASSERT_TRUE(check_property_outcome_.passed)                               \
+        << "property \"" << (name) << "\": "                                  \
+        << check_property_outcome_.report([](const auto& v) {                 \
+             using ::cfgx::proptest::debug_string;                            \
+             return debug_string(v);                                          \
+           });                                                                \
+  } while (0)

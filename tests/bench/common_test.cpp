@@ -2,6 +2,7 @@
 // format and the CLI-driven configuration.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -95,6 +96,35 @@ TEST(BenchConfigTest, ExplicitFlagsOverrideProfiles) {
   const CliArgs args(4, argv);
   const BenchConfig config = BenchConfig::from_cli(args);
   EXPECT_EQ(config.samples_per_family, 99u);
+}
+
+TEST(BenchConfigTest, ReplaySeedFlagOverridesCorpusSeedAndBypassesCache) {
+  const char* argv[] = {"bench", "--replay-seed", "4242"};
+  const CliArgs args(3, argv);
+  const BenchConfig config = BenchConfig::from_cli(args);
+  EXPECT_EQ(config.corpus_seed, 4242u);
+  EXPECT_TRUE(config.fresh);
+}
+
+TEST(BenchConfigTest, ReplaySeedEnvVariableMatchesTheFlag) {
+  ASSERT_EQ(setenv("CFGX_PROPTEST_SEED", "987654321", /*overwrite=*/1), 0);
+  const char* argv[] = {"bench"};
+  const CliArgs args(1, argv);
+  const BenchConfig config = BenchConfig::from_cli(args);
+  unsetenv("CFGX_PROPTEST_SEED");
+  EXPECT_EQ(config.corpus_seed, 987654321u);
+  EXPECT_TRUE(config.fresh);
+}
+
+TEST(BenchConfigTest, MalformedReplaySeedEnvVariableIsIgnored) {
+  ASSERT_EQ(setenv("CFGX_PROPTEST_SEED", "not-a-number", /*overwrite=*/1), 0);
+  const char* argv[] = {"bench"};
+  const CliArgs args(1, argv);
+  const BenchConfig fallback = BenchConfig::from_cli(args);
+  unsetenv("CFGX_PROPTEST_SEED");
+  const BenchConfig baseline = BenchConfig::from_cli(args);
+  EXPECT_EQ(fallback.corpus_seed, baseline.corpus_seed);
+  EXPECT_EQ(fallback.fresh, baseline.fresh);
 }
 
 TEST(BenchContextTest, FreshFlagClearsCache) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "explain/baselines.hpp"
 #include "gnn/trainer.hpp"
+#include "graph/ops.hpp"
 
 namespace cfgx {
 namespace {
@@ -143,6 +146,56 @@ TEST_F(EvaluateFixture, AccuracyAtPicksNearestGridPoint) {
   EXPECT_DOUBLE_EQ(curve.accuracy_at(0.5), 0.2);
   EXPECT_DOUBLE_EQ(curve.accuracy_at(0.55), 0.2);
   EXPECT_DOUBLE_EQ(curve.accuracy_at(0.95), 0.4);
+  // Both endpoints are valid requests (0 snaps to the smallest grid point).
+  EXPECT_DOUBLE_EQ(curve.accuracy_at(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(curve.accuracy_at(1.0), 0.4);
+}
+
+TEST_F(EvaluateFixture, AccuracyAtEmptyCurveThrows) {
+  const FamilyCurve curve;
+  EXPECT_THROW(curve.accuracy_at(0.5), std::logic_error);
+}
+
+TEST_F(EvaluateFixture, AccuracyAtMisalignedCurveThrows) {
+  FamilyCurve curve;
+  curve.fractions = {0.5, 1.0};
+  curve.accuracies = {0.2};
+  EXPECT_THROW(curve.accuracy_at(0.5), std::logic_error);
+}
+
+TEST_F(EvaluateFixture, AccuracyAtOutOfRangeFractionThrows) {
+  FamilyCurve curve;
+  curve.fractions = {0.5, 1.0};
+  curve.accuracies = {0.2, 0.4};
+  EXPECT_THROW(curve.accuracy_at(-0.1), std::invalid_argument);
+  EXPECT_THROW(curve.accuracy_at(1.1), std::invalid_argument);
+  EXPECT_THROW(curve.accuracy_at(std::nan("")), std::invalid_argument);
+}
+
+TEST_F(EvaluateFixture, ComplementAccuracyMatchesManualComplementMasking) {
+  // Drive one graph through evaluate_explainer and recompute the fidelity+
+  // complement prediction by hand: accuracy over a singleton eval set is
+  // exactly the 0/1 correctness of the complement-masked prediction.
+  DegreeExplainer explainer;
+  const std::vector<std::size_t> single = {split_->test.front()};
+  const auto eval = evaluate_explainer(explainer, *gnn_, *corpus_, single);
+
+  const Acfg& graph = corpus_->graph(single.front());
+  const auto top20 = explainer.explain(graph).top_fraction(0.2);
+  std::vector<char> in_top(graph.num_nodes(), 0);
+  for (std::uint32_t v : top20) in_top[v] = 1;
+  std::vector<std::uint32_t> complement;
+  for (std::uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    if (!in_top[v]) complement.push_back(v);
+  }
+  const MaskedGraph masked =
+      keep_only(graph.dense_adjacency(), graph.features(), complement);
+  const Prediction prediction =
+      gnn_->predict_masked(masked.adjacency, masked.features);
+  const double expected =
+      static_cast<int>(prediction.predicted_class) == graph.label() ? 1.0
+                                                                    : 0.0;
+  EXPECT_DOUBLE_EQ(eval.complement_accuracy_at_20, expected);
 }
 
 TEST_F(EvaluateFixture, ExplainerNameRecorded) {

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "nn/optimizer.hpp"
 #include "util/rng.hpp"
 
 namespace cfgx {
@@ -142,6 +143,179 @@ TEST_F(ParameterArchiveTest, FileRoundTrip) {
 TEST_F(ParameterArchiveTest, MissingFileThrows) {
   Parameter p("p", Matrix(1, 1));
   EXPECT_THROW(load_parameters_file("/nonexistent/cfgx.bin", {&p}),
+               SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Adam optimizer state checkpointing: resuming from a saved
+// (parameters, optimizer state) pair continues the exact trajectory.
+// ---------------------------------------------------------------------------
+
+class AdamStateTest : public ::testing::Test {
+ protected:
+  // A small two-layer net with deterministic weights.
+  static Sequential make_net() {
+    Rng rng(1234);
+    Sequential net;
+    net.emplace<Dense>(4, 3, rng, "l0");
+    net.emplace<Dense>(3, 2, rng, "l1");
+    return net;
+  }
+
+  // Deterministic synthetic gradients, varied per step so the moment
+  // estimates evolve non-trivially.
+  static void fill_grads(std::vector<Parameter*>& params, std::uint64_t step) {
+    Rng rng(0x9a9a + step);
+    for (Parameter* p : params) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        p->grad.data()[i] = rng.uniform(-0.5, 0.5);
+      }
+    }
+  }
+
+  static std::string weights_of(Sequential& net) {
+    std::stringstream out;
+    save_parameters(out, net.parameters());
+    return out.str();
+  }
+};
+
+TEST_F(AdamStateTest, SaveLoadStepIsBitIdentical) {
+  Sequential original = make_net();
+  auto original_params = original.parameters();
+  Adam original_adam(original_params);
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    fill_grads(original_params, s);
+    original_adam.step();
+  }
+
+  // Checkpoint both the parameters and the optimizer state...
+  std::stringstream weights;
+  save_parameters(weights, original_params);
+  std::stringstream state;
+  original_adam.save_state(state);
+
+  // ...restore into a fresh net + optimizer...
+  Sequential resumed = make_net();
+  auto resumed_params = resumed.parameters();
+  load_parameters(weights, resumed_params);
+  Adam resumed_adam(resumed_params);
+  resumed_adam.load_state(state);
+  EXPECT_EQ(resumed_adam.step_count(), original_adam.step_count());
+
+  // ...and the next steps are bit-identical on both copies (the bias
+  // correction uses step_count, so an unrestored count would diverge).
+  for (std::uint64_t s = 3; s < 6; ++s) {
+    fill_grads(original_params, s);
+    original_adam.step();
+    fill_grads(resumed_params, s);
+    resumed_adam.step();
+    ASSERT_EQ(weights_of(original), weights_of(resumed)) << "step " << s;
+  }
+}
+
+TEST_F(AdamStateTest, FreshOptimizerWithoutLoadDiverges) {
+  // Control for the round-trip test: dropping the optimizer state (the
+  // common checkpointing bug) visibly changes the trajectory.
+  Sequential original = make_net();
+  auto original_params = original.parameters();
+  Adam original_adam(original_params);
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    fill_grads(original_params, s);
+    original_adam.step();
+  }
+  std::stringstream weights;
+  save_parameters(weights, original_params);
+
+  Sequential resumed = make_net();
+  auto resumed_params = resumed.parameters();
+  load_parameters(weights, resumed_params);
+  Adam fresh_adam(resumed_params);  // no load_state
+
+  fill_grads(original_params, 3);
+  original_adam.step();
+  fill_grads(resumed_params, 3);
+  fresh_adam.step();
+  EXPECT_NE(weights_of(original), weights_of(resumed));
+}
+
+TEST_F(AdamStateTest, RoundTripPreservesStateBytes) {
+  Sequential net = make_net();
+  auto params = net.parameters();
+  Adam adam(params);
+  fill_grads(params, 0);
+  adam.step();
+
+  std::stringstream first;
+  adam.save_state(first);
+  Adam reloaded(params);
+  std::stringstream in(first.str());
+  reloaded.load_state(in);
+  std::stringstream second;
+  reloaded.save_state(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(AdamStateTest, BadMagicThrows) {
+  Sequential net = make_net();
+  auto params = net.parameters();
+  Adam adam(params);
+  std::stringstream bad("XXXXXXXXnot-an-adam-archive");
+  EXPECT_THROW(adam.load_state(bad), SerializationError);
+}
+
+TEST_F(AdamStateTest, MismatchedParametersThrow) {
+  Sequential net = make_net();
+  auto params = net.parameters();
+  Adam adam(params);
+  std::stringstream state;
+  adam.save_state(state);
+
+  // A different architecture cannot absorb this state.
+  Rng rng(77);
+  Sequential other;
+  other.emplace<Dense>(4, 3, rng, "other0");
+  other.emplace<Dense>(3, 2, rng, "other1");
+  auto other_params = other.parameters();
+  Adam other_adam(other_params);
+  EXPECT_THROW(other_adam.load_state(state), SerializationError);
+}
+
+TEST_F(AdamStateTest, TruncatedStateThrowsAndLeavesOptimizerUsable) {
+  Sequential net = make_net();
+  auto params = net.parameters();
+  Adam adam(params);
+  fill_grads(params, 0);
+  adam.step();
+  std::stringstream state;
+  adam.save_state(state);
+  const std::string reference = state.str();
+
+  Adam victim(params);
+  for (std::size_t cut : {std::size_t{9}, reference.size() / 2,
+                          reference.size() - 3}) {
+    std::stringstream truncated(reference.substr(0, cut));
+    EXPECT_THROW(victim.load_state(truncated), SerializationError) << cut;
+  }
+  // Failed loads commit nothing: the victim still steps from its own state.
+  EXPECT_EQ(victim.step_count(), 0u);
+  fill_grads(params, 1);
+  victim.step();
+  EXPECT_EQ(victim.step_count(), 1u);
+}
+
+TEST_F(AdamStateTest, FileRoundTrip) {
+  Sequential net = make_net();
+  auto params = net.parameters();
+  Adam adam(params);
+  fill_grads(params, 0);
+  adam.step();
+  const std::string path = ::testing::TempDir() + "/cfgx_adam_state.bin";
+  adam.save_state_file(path);
+  Adam reloaded(params);
+  reloaded.load_state_file(path);
+  EXPECT_EQ(reloaded.step_count(), 1u);
+  EXPECT_THROW(adam.load_state_file("/nonexistent/cfgx_adam.bin"),
                SerializationError);
 }
 

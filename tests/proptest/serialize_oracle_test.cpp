@@ -1,0 +1,199 @@
+// Serializer oracles: every writer/reader pair round-trips bit-identically
+// over randomly generated inputs, and every reader survives a structure-aware
+// mutational fuzz pass over valid archives — either accepting the bytes or
+// rejecting them with SerializationError, never crashing, hanging, or
+// attempting a corrupt-header-sized allocation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/serialize.hpp"
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "proptest/fuzz.hpp"
+#include "proptest/generators.hpp"
+#include "proptest/proptest.hpp"
+
+namespace cfgx {
+namespace {
+
+std::string serialize_graph(const Acfg& graph) {
+  std::ostringstream out(std::ios::binary);
+  write_acfg(out, graph);
+  return out.str();
+}
+
+std::string serialize_collection(const std::vector<Acfg>& graphs) {
+  std::ostringstream out(std::ios::binary);
+  write_acfg_collection(out, graphs);
+  return out.str();
+}
+
+TEST(SerializeOracle, AcfgRoundTripIsBitIdentical) {
+  CHECK_PROPERTY(
+      "write_acfg . read_acfg . write_acfg is bit-identical",
+      proptest::acfgs(24), [](const Acfg& graph) {
+        const std::string first = serialize_graph(graph);
+        std::istringstream in(first, std::ios::binary);
+        const Acfg reread = read_acfg(in);
+        return serialize_graph(reread) == first &&
+               reread.num_nodes() == graph.num_nodes() &&
+               reread.num_edges() == graph.num_edges() &&
+               reread.label() == graph.label() &&
+               reread.planted_nodes() == graph.planted_nodes();
+      });
+}
+
+TEST(SerializeOracle, AcfgCollectionRoundTripIsBitIdentical) {
+  CHECK_PROPERTY(
+      "collection round trip preserves bytes and count",
+      proptest::vectors(proptest::acfgs(12), 0, 5),
+      [](const std::vector<Acfg>& graphs) {
+        const std::string first = serialize_collection(graphs);
+        std::istringstream in(first, std::ios::binary);
+        const std::vector<Acfg> reread = read_acfg_collection(in);
+        return reread.size() == graphs.size() &&
+               serialize_collection(reread) == first;
+      });
+}
+
+TEST(SerializeOracle, MatrixRoundTripIsExact) {
+  CHECK_PROPERTY("write_matrix . read_matrix == id",
+                 proptest::matrices(16, 16, 100.0), [](const Matrix& m) {
+                   std::ostringstream out(std::ios::binary);
+                   write_matrix(out, m);
+                   std::istringstream in(out.str(), std::ios::binary);
+                   return read_matrix(in) == m;
+                 });
+}
+
+TEST(SerializeOracle, ParameterArchiveRoundTripIsExact) {
+  CHECK_PROPERTY(
+      "save_parameters . load_parameters restores every value",
+      proptest::vectors(proptest::matrices(6, 6, 10.0), 1, 4),
+      [](const std::vector<Matrix>& values) {
+        std::vector<Parameter> original;
+        std::vector<Parameter> target;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          const std::string name = "param_" + std::to_string(i);
+          original.emplace_back(name, values[i]);
+          // Same names/shapes, different values: loading must overwrite.
+          target.emplace_back(name, Matrix(values[i].rows(), values[i].cols()));
+        }
+        std::vector<Parameter*> original_ptrs;
+        std::vector<Parameter*> target_ptrs;
+        for (auto& p : original) original_ptrs.push_back(&p);
+        for (auto& p : target) target_ptrs.push_back(&p);
+
+        std::ostringstream out(std::ios::binary);
+        save_parameters(out, original_ptrs);
+        std::istringstream in(out.str(), std::ios::binary);
+        load_parameters(in, target_ptrs);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          if (!(target[i].value == values[i])) return false;
+        }
+        return true;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input: mutational fuzzing of the binary readers. The consumer
+// contract is "accept or throw SerializationError"; anything else (crash,
+// over-allocation abort, foreign exception) fails with a replayable seed.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> graph_archive_corpus() {
+  std::vector<std::string> corpus;
+  Rng rng(0x5e41'c0de);
+  const auto gen = proptest::acfgs(16, 0.2);
+  std::vector<Acfg> graphs;
+  for (int i = 0; i < 3; ++i) graphs.push_back(gen.generate(rng));
+  corpus.push_back(serialize_collection(graphs));
+  corpus.push_back(serialize_collection({}));
+  corpus.push_back(serialize_graph(graphs.front()));
+  return corpus;
+}
+
+TEST(SerializeFuzz, GraphReadersRejectHostileInputWithSerializationError) {
+  const auto outcome = proptest::fuzz_bytes(
+      graph_archive_corpus(),
+      [](const std::string& bytes) {
+        std::istringstream in(bytes, std::ios::binary);
+        if (bytes.size() >= 8 &&
+            bytes.compare(0, 8, "CFGXG001") == 0) {
+          (void)read_acfg_collection(in);
+        } else {
+          (void)read_acfg(in);
+        }
+      },
+      {.iterations = 10000, .seed = 0xfa22'0001});
+  ASSERT_TRUE(outcome.passed) << outcome.report();
+  // The mutator must actually exercise the rejection paths.
+  EXPECT_GT(outcome.rejected, 0u);
+}
+
+std::vector<std::string> weight_archive_corpus(
+    const std::vector<Parameter*>& params) {
+  std::ostringstream out(std::ios::binary);
+  save_parameters(out, params);
+  return {out.str()};
+}
+
+TEST(SerializeFuzz, WeightArchiveReaderRejectsHostileInput) {
+  Rng rng(0x5e42'c0de);
+  Sequential net;
+  net.emplace<Dense>(6, 4, rng, "l0");
+  net.emplace<Dense>(4, 3, rng, "l1");
+  const auto corpus = weight_archive_corpus(net.parameters());
+
+  // A separate target so mutated-but-accepted loads never corrupt the
+  // archive source.
+  Rng target_rng(0x5e43'c0de);
+  Sequential target;
+  target.emplace<Dense>(6, 4, target_rng, "l0");
+  target.emplace<Dense>(4, 3, target_rng, "l1");
+  auto target_params = target.parameters();
+
+  const auto outcome = proptest::fuzz_bytes(
+      corpus,
+      [&target_params](const std::string& bytes) {
+        std::istringstream in(bytes, std::ios::binary);
+        load_parameters(in, target_params);
+      },
+      {.iterations = 10000, .seed = 0xfa22'0002});
+  ASSERT_TRUE(outcome.passed) << outcome.report();
+  EXPECT_GT(outcome.rejected, 0u);
+}
+
+TEST(SerializeFuzz, AdamStateReaderRejectsHostileInput) {
+  Rng rng(0x5e44'c0de);
+  Sequential net;
+  net.emplace<Dense>(5, 3, rng, "l0");
+  net.emplace<Dense>(3, 2, rng, "l1");
+  Adam adam(net.parameters());
+  // Take a step so the saved moments are non-trivial.
+  for (Parameter* p : net.parameters()) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      p->grad.data()[i] = 0.01 * static_cast<double>(i + 1);
+    }
+  }
+  adam.step();
+  std::ostringstream out(std::ios::binary);
+  adam.save_state(out);
+
+  const auto outcome = proptest::fuzz_bytes(
+      {out.str()},
+      [&adam](const std::string& bytes) {
+        std::istringstream in(bytes, std::ios::binary);
+        adam.load_state(in);
+      },
+      {.iterations = 10000, .seed = 0xfa22'0003});
+  ASSERT_TRUE(outcome.passed) << outcome.report();
+  EXPECT_GT(outcome.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace cfgx
