@@ -32,9 +32,10 @@ Corpus shifted_corpus(const BenchConfig& config) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("ablation_dataset_shift", args, bench_config);
+  BenchContext ctx(bench_config);
 
   std::printf("=== Dataset shift: train on standard corpus, explain a larger "
               "out-of-distribution corpus ===\n\n");

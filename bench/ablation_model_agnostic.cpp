@@ -47,9 +47,10 @@ PipelineResult run_pipeline(BenchContext& ctx, GnnClassifier& gnn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("ablation_model_agnostic", args, bench_config);
+  BenchContext ctx(bench_config);
 
   std::printf("=== Model agnosticism: identical Theta pipeline on two "
               "classifier architectures ===\n\n");

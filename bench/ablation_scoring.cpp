@@ -39,9 +39,10 @@ CfgExplainer make_variant(BenchContext& ctx, double sparsity,
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("ablation_scoring", args, bench_config);
+  BenchContext ctx(bench_config);
 
   std::printf("=== Ablation: scoring components of CFGExplainer ===\n\n");
 

@@ -30,9 +30,10 @@ double jaccard(const std::vector<std::uint32_t>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("ablation_stability", args, bench_config);
+  BenchContext ctx(bench_config);
 
   std::printf("=== Stability: top-20%% agreement across Theta retrainings ===\n\n");
 

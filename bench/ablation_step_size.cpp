@@ -11,9 +11,10 @@ using namespace cfgx;
 using namespace cfgx::bench;
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("ablation_step_size", args, bench_config);
+  BenchContext ctx(bench_config);
 
   CfgExplainer& explainer = ctx.cfg_explainer();
   const GnnClassifier& gnn = ctx.gnn();

@@ -368,6 +368,130 @@ NamedEvaluation load_evaluation_file(const std::string& path) {
   return eval;
 }
 
+obs::ManifestTiming timing_from_stats(const std::string& name,
+                                      const DurationStats& stats) {
+  obs::ManifestTiming timing;
+  timing.name = name;
+  timing.count = stats.count();
+  if (stats.count() > 0) {
+    timing.total_seconds = stats.total();
+    timing.mean_seconds = stats.mean();
+    timing.stddev_seconds = stats.stddev();
+    timing.p50_seconds = stats.percentile(50.0);
+    timing.p95_seconds = stats.percentile(95.0);
+    timing.p99_seconds = stats.percentile(99.0);
+  }
+  return timing;
+}
+
+namespace {
+
+// CFGX_TRACE=0/off/false means "no trace"; 1/on/true means "trace to the
+// default path"; anything else is itself the output path.
+bool env_requests_trace(const char* value, std::string& path_out) {
+  const std::string text(value);
+  if (text.empty() || text == "0" || text == "off" || text == "false") {
+    return false;
+  }
+  if (text != "1" && text != "on" && text != "true") path_out = text;
+  return true;
+}
+
+}  // namespace
+
+RunReport::RunReport(const std::string& binary_name, const CliArgs& args,
+                     const BenchConfig& config)
+    : manifest_(binary_name) {
+  // Log level: explicit flag > CFGX_LOG_LEVEL (already applied at static
+  // init) > quiet-by-default so tables stay clean.
+  if (args.has("log-level")) {
+    try {
+      set_global_log_level(log_level_from_string(args.get_string("log-level", "")));
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "[bench] %s; keeping current level\n", error.what());
+    }
+  } else {
+    set_default_log_level(LogLevel::Warn);
+  }
+
+  trace_path_ = binary_name + "_trace.json";
+  bool want_trace = false;
+  if (args.has("trace")) {
+    const std::string value = args.get_string("trace", "");
+    want_trace = true;
+    if (!value.empty() && value != "true" && value != "1") trace_path_ = value;
+  } else if (const char* env = std::getenv("CFGX_TRACE")) {
+    want_trace = env_requests_trace(env, trace_path_);
+  }
+
+  manifest_path_ =
+      args.get_string("manifest", binary_name + "_manifest.json");
+
+  manifest_.set_config("fast", config.fast);
+  manifest_.set_config("fresh", config.fresh);
+  manifest_.set_config("samples_per_family",
+                       static_cast<std::uint64_t>(config.samples_per_family));
+  manifest_.set_config("corpus_seed", config.corpus_seed);
+  manifest_.set_config("train_fraction", config.train_fraction);
+  manifest_.set_config("gnn_epochs",
+                       static_cast<std::uint64_t>(config.gnn_epochs));
+  manifest_.set_config("explainer_epochs",
+                       static_cast<std::uint64_t>(config.explainer_epochs));
+  manifest_.set_config("pg_epochs",
+                       static_cast<std::uint64_t>(config.pg_epochs));
+  manifest_.set_config("gnnx_iterations",
+                       static_cast<std::uint64_t>(config.gnnx_iterations));
+  manifest_.set_config("subx_iterations",
+                       static_cast<std::uint64_t>(config.subx_iterations));
+  manifest_.set_config("eval_per_family",
+                       static_cast<std::uint64_t>(config.eval_per_family));
+  manifest_.set_config("step_size_percent",
+                       static_cast<std::uint64_t>(config.step_size_percent));
+  manifest_.set_config("cache_dir", config.cache_dir);
+
+  if (want_trace) {
+    obs::start_tracing();
+    tracing_ = true;
+    std::fprintf(stderr, "[bench] tracing to %s\n", trace_path_.c_str());
+  }
+}
+
+RunReport::~RunReport() {
+  if (finished_) return;
+  try {
+    finish();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "[bench] run report failed: %s\n", error.what());
+  }
+}
+
+void RunReport::add_result(const std::string& key, double value) {
+  manifest_.add_result(key, value);
+}
+
+void RunReport::add_timing(const std::string& name, const DurationStats& stats) {
+  manifest_.add_timing(timing_from_stats(name, stats));
+}
+
+void RunReport::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (tracing_) {
+    obs::stop_tracing();
+    if (obs::write_trace_file(trace_path_)) {
+      manifest_.set_trace_file(trace_path_);
+      std::fprintf(stderr, "[bench] wrote trace (%zu events) to %s\n",
+                   obs::trace_event_count(), trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] FAILED to write trace to %s\n",
+                   trace_path_.c_str());
+    }
+  }
+  manifest_.set_metrics(obs::MetricsRegistry::global().snapshot());
+  manifest_.write_file(manifest_path_);
+  std::fprintf(stderr, "[bench] wrote manifest to %s\n", manifest_path_.c_str());
+}
+
 std::string format_minutes(double seconds) {
   char buf[64];
   if (seconds >= 60.0) {

@@ -25,9 +25,12 @@
 #include "explain/pgexplainer.hpp"
 #include "explain/subgraphx.hpp"
 #include "gnn/trainer.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace cfgx::bench {
 
@@ -109,6 +112,51 @@ class BenchContext {
   std::unique_ptr<DegreeExplainer> degree_;
   double cfg_offline_seconds_ = 0.0;
   double pg_offline_seconds_ = 0.0;
+};
+
+// Converts accumulated DurationStats into a manifest timing row
+// (mean/std/p50/p95/p99); count 0 yields an all-zero row.
+obs::ManifestTiming timing_from_stats(const std::string& name,
+                                      const DurationStats& stats);
+
+// Per-run observability harness shared by every bench main. Construct it
+// right after CliArgs, before any real work:
+//
+//   const CliArgs args(argc, argv);
+//   BenchConfig config = BenchConfig::from_cli(args);
+//   RunReport report("table4_explanation_time", args, config);
+//   ...
+//   report.finish();   // or rely on the destructor
+//
+// It owns the observability flags every binary accepts:
+//   --log-level=L     log verbosity (else CFGX_LOG_LEVEL, else warn)
+//   --trace[=path]    collect a Chrome trace (else CFGX_TRACE env);
+//                     default path <binary>_trace.json
+//   --manifest=path   manifest output path (default <binary>_manifest.json)
+//
+// finish() stops tracing, writes the trace file (when tracing ran) and the
+// JSON run manifest: CLI config, git revision, added timings/results, and a
+// snapshot of the global metrics registry.
+class RunReport {
+ public:
+  RunReport(const std::string& binary_name, const CliArgs& args,
+            const BenchConfig& config);
+  ~RunReport();  // best-effort finish(); errors are reported, not thrown
+
+  RunReport(const RunReport&) = delete;
+  RunReport& operator=(const RunReport&) = delete;
+
+  obs::RunManifest& manifest() { return manifest_; }
+  void add_result(const std::string& key, double value);
+  void add_timing(const std::string& name, const DurationStats& stats);
+  void finish();
+
+ private:
+  std::string trace_path_;
+  std::string manifest_path_;
+  bool tracing_ = false;
+  bool finished_ = false;
+  obs::RunManifest manifest_;
 };
 
 // (De)serialization of evaluation results for the cross-binary cache.

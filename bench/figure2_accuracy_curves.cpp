@@ -12,9 +12,10 @@ using namespace cfgx;
 using namespace cfgx::bench;
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("figure2_accuracy_curves", args, bench_config);
+  BenchContext ctx(bench_config);
 
   std::printf("=== Figure 2: subgraph classification accuracy vs size ===\n");
   std::printf("corpus: %zu graphs, eval set: %zu graphs, GNN accuracy on eval: %s\n\n",

@@ -9,9 +9,10 @@ using namespace cfgx;
 using namespace cfgx::bench;
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("gnn_training", args, bench_config);
+  BenchContext ctx(bench_config);
 
   GnnClassifier& gnn = ctx.gnn();
   const Corpus& corpus = ctx.corpus();
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
               format_percent(train_cm.accuracy()).c_str(), split.train.size());
   std::printf("test accuracy:  %s over %zu graphs\n\n",
               format_percent(test_cm.accuracy()).c_str(), split.test.size());
+  report.add_result("train_accuracy", train_cm.accuracy());
+  report.add_result("test_accuracy", test_cm.accuracy());
 
   TextTable table({"Family", "Test recall", "Train recall"},
                   {Align::Left, Align::Right, Align::Right});

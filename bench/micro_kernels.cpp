@@ -2,7 +2,17 @@
 // the experiment wall-clock: matrix products, adjacency normalization, GCN
 // layer forward/backward, full-model embedding, one Algorithm-2
 // interpretation and corpus sample generation.
+//
+// Besides google-benchmark's own flags this binary accepts
+// --manifest=path (default micro_kernels_manifest.json) and honors
+// CFGX_METRICS=0, which disables the in-process metrics registry - the
+// configuration used to measure observability overhead on the matmul
+// throughput numbers.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/interpreter.hpp"
 #include "dataset/corpus.hpp"
@@ -10,6 +20,7 @@
 #include "graph/ops.hpp"
 #include "isa/features.hpp"
 #include "nn/sparse.hpp"
+#include "obs/manifest.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -261,4 +272,32 @@ BENCHMARK(BM_BlockFeatureExtraction);
 }  // namespace
 }  // namespace cfgx
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a run manifest carrying the metrics snapshot, so
+// kernel call counts / time-in-kernel are machine readable alongside the
+// google-benchmark numbers.
+int main(int argc, char** argv) {
+  std::string manifest_path = "micro_kernels_manifest.json";
+  std::vector<char*> benchmark_args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr char kManifestFlag[] = "--manifest=";
+    if (std::strncmp(argv[i], kManifestFlag, sizeof kManifestFlag - 1) == 0) {
+      manifest_path = argv[i] + sizeof kManifestFlag - 1;
+      continue;  // google-benchmark rejects flags it does not know
+    }
+    benchmark_args.push_back(argv[i]);
+  }
+  int benchmark_argc = static_cast<int>(benchmark_args.size());
+  benchmark::Initialize(&benchmark_argc, benchmark_args.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                             benchmark_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  cfgx::obs::RunManifest manifest("micro_kernels");
+  manifest.set_config("metrics_enabled", cfgx::obs::metrics_enabled());
+  manifest.set_metrics(cfgx::obs::MetricsRegistry::global().snapshot());
+  manifest.write_file(manifest_path);
+  return 0;
+}

@@ -23,9 +23,10 @@ double family_metric(const ExplainerEvaluation& eval, Family family,
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig bench_config = BenchConfig::from_cli(args);
+  RunReport report("table3_summary", args, bench_config);
+  BenchContext ctx(bench_config);
 
   std::vector<NamedEvaluation> evals;
   for (const std::string& name : BenchContext::paper_explainers()) {
@@ -61,6 +62,11 @@ int main(int argc, char** argv) {
     avg_row.push_back(format_fixed(eval.evaluation.average_accuracy_at(0.1)));
     avg_row.push_back(format_fixed(eval.evaluation.average_accuracy_at(0.2)));
     avg_row.push_back(format_fixed(eval.evaluation.average_auc));
+    const std::string& name = eval.evaluation.explainer_name;
+    report.add_result("accuracy_at_20." + name,
+                      eval.evaluation.average_accuracy_at(0.2));
+    report.add_result("auc." + name, eval.evaluation.average_auc);
+    report.add_timing("explain." + name, eval.evaluation.explain_time);
   }
   table.add_row(std::move(avg_row));
 

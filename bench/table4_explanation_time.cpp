@@ -13,9 +13,10 @@ using namespace cfgx;
 using namespace cfgx::bench;
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
   const CliArgs args(argc, argv);
-  BenchContext ctx(BenchConfig::from_cli(args));
+  const BenchConfig config = BenchConfig::from_cli(args);
+  RunReport report("table4_explanation_time", args, config);
+  BenchContext ctx(config);
 
   std::vector<NamedEvaluation> evals;
   for (const std::string& name : BenchContext::paper_explainers()) {
@@ -27,19 +28,34 @@ int main(int argc, char** argv) {
               evals.front().evaluation.explain_time.count());
 
   TextTable table({"Explainer", "Offline Training Time",
-                   "Avg Time per Explanation", "Slowdown vs CFGExplainer"},
-                  {Align::Left, Align::Right, Align::Right, Align::Right});
+                   "Avg Time per Explanation", "p95",
+                   "Slowdown vs CFGExplainer"},
+                  {Align::Left, Align::Right, Align::Right, Align::Right,
+                   Align::Right});
   const double reference = evals.front().evaluation.explain_time.mean();
   for (const auto& eval : evals) {
     const DurationStats& stats = eval.evaluation.explain_time;
     std::string offline = eval.offline_training_seconds > 0.0
                               ? format_minutes(eval.offline_training_seconds)
                               : "-";
+    const double p95 = stats.percentile(95.0);
+    char p95_text[32];
+    if (p95 >= 1.0) {
+      std::snprintf(p95_text, sizeof p95_text, "%.2f s", p95);
+    } else {
+      std::snprintf(p95_text, sizeof p95_text, "%.2f ms", p95 * 1e3);
+    }
     char ratio[32];
     std::snprintf(ratio, sizeof ratio, "x%.1f",
                   reference > 0 ? stats.mean() / reference : 0.0);
     table.add_row({eval.evaluation.explainer_name, std::move(offline),
-                   stats.summary(), ratio});
+                   stats.summary(), p95_text, ratio});
+
+    report.add_timing("explain." + eval.evaluation.explainer_name, stats);
+    if (eval.offline_training_seconds > 0.0) {
+      report.add_result("offline_seconds." + eval.evaluation.explainer_name,
+                        eval.offline_training_seconds);
+    }
   }
   std::printf("%s\n", table.render().c_str());
 

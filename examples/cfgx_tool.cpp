@@ -217,7 +217,7 @@ int cmd_eval(const CliArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_global_log_level(LogLevel::Warn);
+  set_default_log_level(LogLevel::Warn);
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const CliArgs args(argc - 1, argv + 1);

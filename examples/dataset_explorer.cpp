@@ -19,7 +19,7 @@ using namespace cfgx;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  set_global_log_level(LogLevel::Warn);
+  set_default_log_level(LogLevel::Warn);
 
   CorpusConfig config;
   config.samples_per_family =

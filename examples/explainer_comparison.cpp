@@ -40,7 +40,7 @@ double jaccard(const std::vector<std::uint32_t>& a,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  set_global_log_level(LogLevel::Warn);
+  set_default_log_level(LogLevel::Warn);
 
   const Family family = family_from_string(args.get_string("family", "Rbot"));
 

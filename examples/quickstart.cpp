@@ -22,7 +22,7 @@ using namespace cfgx;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  set_global_log_level(LogLevel::Info);
+  set_default_log_level(LogLevel::Info);
 
   // 1. Corpus ---------------------------------------------------------
   CorpusConfig corpus_config;

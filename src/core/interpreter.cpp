@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "graph/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cfgx {
 
@@ -32,8 +34,13 @@ Interpretation Interpreter::interpret(const Acfg& graph,
   std::vector<std::uint32_t> removal_order;  // V_ordered before the reverse
   removal_order.reserve(n_real);
 
+  static obs::Counter& iterations_metric =
+      obs::MetricsRegistry::global().counter("alg2.iterations");
+
+  obs::TraceSpan interpret_span("alg2.interpret", "explain");
   const unsigned iterations = 100 / step;
   for (unsigned it = 0; it < iterations; ++it) {
+    iterations_metric.add();
     // graph_size runs 100, 100-step, ..., step (Algorithm 2 line 4).
     // Snapshot the current subgraph (line 5).
     result.subgraph_nodes.push_back(remaining);
@@ -42,8 +49,15 @@ Interpretation Interpreter::interpret(const Acfg& graph,
     }
 
     // Re-embed and re-score the masked graph (lines 6-7).
-    const Matrix embeddings = gnn_->embed(adjacency, features);
-    const Matrix scores = model_->score_nodes(embeddings);
+    Matrix embeddings, scores;
+    {
+      obs::TraceSpan embed_span("alg2.embed", "explain");
+      embeddings = gnn_->embed(adjacency, features);
+    }
+    {
+      obs::TraceSpan score_span("alg2.score", "explain");
+      scores = model_->score_nodes(embeddings);
+    }
 
     // Number of nodes to prune this iteration. Fractional step sizes are
     // distributed so the remaining count after iteration `it` equals
@@ -57,6 +71,7 @@ Interpretation Interpreter::interpret(const Acfg& graph,
                                             : 0;
 
     // Lines 8-18: repeatedly remove the lowest-scoring surviving node.
+    obs::TraceSpan prune_span("alg2.prune", "explain");
     for (std::size_t k = 0; k < n_step; ++k) {
       std::size_t min_pos = 0;
       double min_score = std::numeric_limits<double>::infinity();

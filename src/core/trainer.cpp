@@ -6,6 +6,8 @@
 
 #include "graph/ops.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace cfgx {
@@ -112,11 +114,21 @@ ExplainerTrainResult train_explainer(
 
   Adam optimizer(model.parameters(), config.adam);
 
+  static obs::Counter& epochs_metric =
+      obs::MetricsRegistry::global().counter("explainer.epochs");
+  static obs::Histogram& epoch_seconds =
+      obs::MetricsRegistry::global().histogram("explainer.epoch_seconds");
+  static obs::Gauge& last_loss =
+      obs::MetricsRegistry::global().gauge("explainer.last_epoch_loss");
+
+  obs::TraceSpan train_span("explainer.train", "train");
   ExplainerTrainResult result;
   std::stringstream best_checkpoint;
   double best_retention = -1.0;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("explainer.train.epoch", "train");
+    obs::ScopedDurationTimer epoch_timer(epoch_seconds);
     // Algorithm 1 line 3: random mini-batch D' of m samples.
     const std::size_t m = std::min(config.batch_size, fit_indices.size());
     const std::vector<std::size_t> batch =
@@ -148,6 +160,8 @@ ExplainerTrainResult train_explainer(
 
     const double epoch_loss = loss_sum / static_cast<double>(m);
     result.epoch_losses.push_back(epoch_loss);
+    epochs_metric.add();
+    last_loss.set(epoch_loss);
     if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
     CFGX_LOG(Debug) << "explainer epoch " << epoch << " loss " << epoch_loss;
 
@@ -155,6 +169,7 @@ ExplainerTrainResult train_explainer(
     const bool last_epoch = epoch + 1 == config.epochs;
     if (use_validation &&
         ((epoch + 1) % config.validation_interval == 0 || last_epoch)) {
+      obs::TraceSpan validation_span("explainer.validation", "train");
       const double retention = validation_retention(
           model, gnn, corpus, validation_indices, val_embeddings, val_labels);
       CFGX_LOG(Debug) << "explainer epoch " << epoch << " retention "

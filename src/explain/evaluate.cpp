@@ -6,6 +6,8 @@
 
 #include "gnn/metrics.hpp"
 #include "graph/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cfgx {
 
@@ -80,12 +82,25 @@ ExplainerEvaluation evaluate_explainer(
   ExplainerEvaluation result;
   result.explainer_name = explainer.name();
 
+  // Per-explainer latency histogram ("explain.CFGExplainer.seconds", ...)
+  // feeding the p50/p95/p99 columns in bench run manifests. The span name
+  // lives as long as the evaluation, so TraceSpan may keep the pointer.
+  obs::Histogram& explain_seconds = obs::MetricsRegistry::global().histogram(
+      "explain." + explainer.name() + ".seconds");
+  const std::string span_name = "explain." + explainer.name();
+
   for (std::size_t index : eval_indices) {
     const Acfg& graph = corpus.graph(index);
 
     Stopwatch watch;
-    const NodeRanking ranking = explainer.explain(graph);
-    result.explain_time.add(watch.elapsed_seconds());
+    NodeRanking ranking;
+    {
+      obs::TraceSpan span(span_name.c_str(), "explain");
+      ranking = explainer.explain(graph);
+    }
+    const double seconds = watch.elapsed_seconds();
+    result.explain_time.add(seconds);
+    explain_seconds.record(seconds);
 
     if (ranking.order.size() != graph.num_nodes()) {
       throw std::logic_error("evaluate_explainer: ranking size mismatch from " +

@@ -4,6 +4,7 @@
 
 #include "nn/layers.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 
 namespace cfgx {
 namespace {
@@ -76,6 +77,7 @@ NodeRanking GnnExplainer::explain(const Acfg& graph) {
   }
 
   const auto& edges = graph.edges();
+  obs::TraceSpan optimize_span("gnnexplainer.mask_optimize", "explain");
   for (std::size_t step = 0; step < config_.iterations; ++step) {
     // Masked adjacency: A_e *= sigmoid(m_e).
     Matrix masked = base_adjacency;

@@ -4,6 +4,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace cfgx {
@@ -42,6 +43,7 @@ Matrix PgExplainer::edge_inputs(const Acfg& graph,
 
 void PgExplainer::fit(const Corpus& corpus,
                       const std::vector<std::size_t>& train_indices) {
+  obs::TraceSpan fit_span("pgexplainer.fit", "explain");
   Adam optimizer(predictor_.parameters(),
                  AdamConfig{.learning_rate = config_.learning_rate});
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/ops.hpp"
+#include "obs/trace.hpp"
 
 namespace cfgx {
 namespace {
@@ -244,6 +245,7 @@ NodeRanking SubgraphX::explain(const Acfg& graph) {
     throw std::invalid_argument("SubgraphX::explain: empty graph");
   }
   Search search(*gnn_, graph, config_);
+  obs::TraceSpan mcts_span("subgraphx.mcts", "explain");
   NodeRanking ranking = search.run();
   gnn_evaluations_ = search.evaluations();
   return ranking;

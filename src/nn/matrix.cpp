@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace cfgx {
 namespace {
 
@@ -148,6 +150,12 @@ std::string Matrix::to_string(int decimals) const {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw_shape("matmul", a, b);
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.matmul.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.matmul.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
   Matrix out(a.rows(), b.cols());
   // i-k-j loop order for cache-friendly access of row-major operands.
   for (std::size_t i = 0; i < a.rows(); ++i) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cfgx {
@@ -164,6 +165,12 @@ double CsrMatrix::density() const noexcept {
 
 Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
   if (a.cols() != b.rows()) throw_spmm_shape("spmm", a.rows(), a.cols(), b);
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.spmm.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.spmm.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
   Matrix out(a.rows(), b.cols());
   if (pool != nullptr && a.rows() > 1) {
     parallel_ranges(*pool, a.rows(), [&](std::size_t begin, std::size_t end) {
@@ -179,6 +186,12 @@ Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
   if (a.rows() != b.rows()) {
     throw_spmm_shape("spmm_transpose_a", a.rows(), a.cols(), b);
   }
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.spmm_transpose.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.spmm_transpose.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
   Matrix out(a.cols(), b.cols());
   if (pool != nullptr && b.cols() > 1) {
     parallel_ranges(*pool, b.cols(), [&](std::size_t begin, std::size_t end) {
@@ -194,6 +207,12 @@ Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
   if (a.cols() != b.rows()) {
     throw_spmm_shape("matmul_parallel", a.rows(), a.cols(), b);
   }
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.matmul_parallel.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.matmul_parallel.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
   Matrix out(a.rows(), b.cols());
   parallel_ranges(pool, a.rows(), [&](std::size_t begin, std::size_t end) {
     matmul_rows(a, b, out, begin, end);

@@ -1,0 +1,83 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// by the trace and manifest emitters, and a small recursive-descent parser
+// used by the tests (trace well-formedness, manifest round-trips) to read
+// those files back. No external dependency; covers exactly the JSON subset
+// the emitters produce (objects, arrays, strings, finite numbers, booleans,
+// null).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfgx::obs {
+
+// Returns `text` with every character JSON cannot carry verbatim escaped
+// (quotes, backslash, control characters as \u00XX).
+std::string json_escape(std::string_view text);
+
+// Streaming writer. Scope mismatches (value without a key inside an object,
+// str() with open scopes) throw std::logic_error - emitting malformed JSON
+// is a bug, not a runtime condition.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  // Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  // The finished document; throws if any scope is still open.
+  const std::string& str() const;
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+// Parsed JSON document. Deliberately a plain open struct: test code walks it
+// directly. parse() throws std::runtime_error on malformed input, which is
+// exactly what the trace well-formedness test asserts does not happen.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                 // Kind::Array
+  std::map<std::string, JsonValue> members;     // Kind::Object
+
+  static JsonValue parse(std::string_view text);
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool has(const std::string& name) const { return members.count(name) > 0; }
+  // Member access; throws std::out_of_range when absent.
+  const JsonValue& at(const std::string& name) const { return members.at(name); }
+};
+
+}  // namespace cfgx::obs

@@ -1,0 +1,152 @@
+#include "obs/manifest.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+#ifndef CFGX_GIT_REV
+#define CFGX_GIT_REV "unknown"
+#endif
+
+namespace cfgx::obs {
+
+std::string build_git_revision() {
+  if (const char* env = std::getenv("CFGX_GIT_REV")) {
+    if (*env != '\0') return env;
+  }
+  return CFGX_GIT_REV;
+}
+
+RunManifest::RunManifest(std::string binary_name)
+    : binary_(std::move(binary_name)) {}
+
+void RunManifest::set_config_value(const std::string& key, ConfigValue value) {
+  for (auto& [existing, stored] : config_) {
+    if (existing == key) {
+      stored = std::move(value);
+      return;
+    }
+  }
+  config_.emplace_back(key, std::move(value));
+}
+
+void RunManifest::set_config(const std::string& key, const std::string& value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::String;
+  v.text = value;
+  set_config_value(key, std::move(v));
+}
+
+void RunManifest::set_config(const std::string& key, const char* value) {
+  set_config(key, std::string(value));
+}
+
+void RunManifest::set_config(const std::string& key, std::int64_t value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::Int;
+  v.integer = value;
+  set_config_value(key, std::move(v));
+}
+
+void RunManifest::set_config(const std::string& key, std::uint64_t value) {
+  set_config(key, static_cast<std::int64_t>(value));
+}
+
+void RunManifest::set_config(const std::string& key, double value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::Double;
+  v.number = value;
+  set_config_value(key, std::move(v));
+}
+
+void RunManifest::set_config(const std::string& key, bool value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::Bool;
+  v.flag = value;
+  set_config_value(key, std::move(v));
+}
+
+void RunManifest::add_result(const std::string& key, double value) {
+  results_.emplace_back(key, value);
+}
+
+void RunManifest::add_timing(ManifestTiming timing) {
+  timings_.push_back(std::move(timing));
+}
+
+void RunManifest::set_metrics(MetricsSnapshot snapshot) {
+  metrics_ = std::move(snapshot);
+  has_metrics_ = true;
+}
+
+void RunManifest::set_trace_file(std::string path) {
+  trace_file_ = std::move(path);
+}
+
+std::string RunManifest::json() const {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.field("schema", "cfgx-run-manifest/1");
+  writer.field("binary", binary_);
+  writer.field("git_rev", build_git_revision());
+  writer.field("created_unix",
+               static_cast<std::int64_t>(std::time(nullptr)));
+  if (!trace_file_.empty()) writer.field("trace_file", trace_file_);
+
+  writer.key("config").begin_object();
+  for (const auto& [key, value] : config_) {
+    writer.key(key);
+    switch (value.kind) {
+      case ConfigValue::Kind::String: writer.value(value.text); break;
+      case ConfigValue::Kind::Int: writer.value(value.integer); break;
+      case ConfigValue::Kind::Double: writer.value(value.number); break;
+      case ConfigValue::Kind::Bool: writer.value(value.flag); break;
+    }
+  }
+  writer.end_object();
+
+  writer.key("results").begin_object();
+  for (const auto& [key, value] : results_) writer.field(key, value);
+  writer.end_object();
+
+  writer.key("timings").begin_array();
+  for (const ManifestTiming& t : timings_) {
+    writer.begin_object()
+        .field("name", t.name)
+        .field("count", t.count)
+        .field("total_seconds", t.total_seconds)
+        .field("mean_seconds", t.mean_seconds)
+        .field("stddev_seconds", t.stddev_seconds)
+        .field("p50_seconds", t.p50_seconds)
+        .field("p95_seconds", t.p95_seconds)
+        .field("p99_seconds", t.p99_seconds)
+        .end_object();
+  }
+  writer.end_array();
+
+  if (has_metrics_) {
+    writer.key("metrics");
+    metrics_.write_json(writer);
+  }
+  writer.end_object();
+  return writer.str();
+}
+
+void RunManifest::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("RunManifest: cannot open '" + path +
+                             "' for writing");
+  }
+  out << json();
+  if (!out) {
+    throw std::runtime_error("RunManifest: failed writing '" + path + "'");
+  }
+}
+
+}  // namespace cfgx::obs

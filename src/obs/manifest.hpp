@@ -1,0 +1,93 @@
+// Machine-readable run manifests.
+//
+// Every bench binary emits one JSON manifest next to its human-readable
+// table: the configuration it ran under, the git revision it was built
+// from, named timing distributions (mean/std/p50/p95/p99), scalar results,
+// and a snapshot of the metrics registry. This is the format the
+// BENCH_*.json perf trajectory consumes - one manifest per run is one
+// datapoint.
+//
+// Schema (cfgx-run-manifest/1):
+//   {
+//     "schema": "cfgx-run-manifest/1",
+//     "binary": "table4_explanation_time",
+//     "git_rev": "6d61db3",
+//     "created_unix": 1754460000,
+//     "trace_file": "table4_trace.json",        // only when tracing ran
+//     "config": { "fast": true, "samples": 12, ... },
+//     "results": { "gnn_accuracy": 0.97, ... },
+//     "timings": [ {"name": "explain.CFGExplainer", "count": 36,
+//                   "total_seconds": ..., "mean_seconds": ...,
+//                   "stddev_seconds": ..., "p50_seconds": ...,
+//                   "p95_seconds": ..., "p99_seconds": ...}, ... ],
+//     "metrics": { "counters": {...}, "gauges": {...},
+//                  "histograms": [...] }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cfgx::obs {
+
+// The revision the binary was built from (compile-time CFGX_GIT_REV,
+// overridable at runtime via the CFGX_GIT_REV environment variable for
+// CI jobs that build from a detached worktree).
+std::string build_git_revision();
+
+struct ManifestTiming {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double stddev_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+class RunManifest {
+ public:
+  explicit RunManifest(std::string binary_name);
+
+  // Config entries preserve insertion order in the emitted JSON.
+  void set_config(const std::string& key, const std::string& value);
+  void set_config(const std::string& key, const char* value);
+  void set_config(const std::string& key, std::int64_t value);
+  void set_config(const std::string& key, std::uint64_t value);
+  void set_config(const std::string& key, double value);
+  void set_config(const std::string& key, bool value);
+
+  void add_result(const std::string& key, double value);
+  void add_timing(ManifestTiming timing);
+  void set_metrics(MetricsSnapshot snapshot);
+  void set_trace_file(std::string path);
+
+  std::string json() const;
+  // Throws std::runtime_error when the file cannot be written.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct ConfigValue {
+    enum class Kind { String, Int, Double, Bool } kind = Kind::String;
+    std::string text;
+    std::int64_t integer = 0;
+    double number = 0.0;
+    bool flag = false;
+  };
+
+  void set_config_value(const std::string& key, ConfigValue value);
+
+  std::string binary_;
+  std::string trace_file_;
+  std::vector<std::pair<std::string, ConfigValue>> config_;
+  std::vector<std::pair<std::string, double>> results_;
+  std::vector<ManifestTiming> timings_;
+  MetricsSnapshot metrics_;
+  bool has_metrics_ = false;
+};
+
+}  // namespace cfgx::obs

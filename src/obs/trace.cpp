@@ -1,0 +1,200 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cfgx::obs {
+namespace detail {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* category;
+  std::uint64_t start_ns;
+  std::uint64_t duration_ns;
+  std::uint32_t tid;
+};
+
+// One buffer per thread, owned jointly by the thread (thread_local) and the
+// global registry (so events survive worker-thread exit until flushed).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex registry_mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint64_t> epoch_ns{0};
+};
+
+TraceState& state() {
+  static TraceState* instance = new TraceState();  // never destroyed: worker
+  return *instance;  // threads may outlive static teardown order
+}
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ThreadBuffer& buffer_for_this_thread() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard lock(s.registry_mutex);
+    s.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void append_event(TraceEvent event) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> collect_events() {
+  TraceState& s = state();
+  std::vector<TraceEvent> all;
+  std::lock_guard registry_lock(s.registry_mutex);
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.duration_ns > b.duration_ns;
+            });
+  return all;
+}
+
+}  // namespace
+
+std::uint32_t thread_id() noexcept {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void start_tracing() {
+  clear_trace_events();
+  state().epoch_ns.store(now_ns(), std::memory_order_relaxed);
+  detail::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void stop_tracing() {
+  detail::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+void clear_trace_events() {
+  TraceState& s = state();
+  std::lock_guard registry_lock(s.registry_mutex);
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::size_t total = 0;
+  std::lock_guard registry_lock(s.registry_mutex);
+  for (const auto& buffer : s.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string trace_json() {
+  const std::vector<TraceEvent> events = collect_events();
+  const std::uint64_t epoch = state().epoch_ns.load(std::memory_order_relaxed);
+
+  JsonWriter writer;
+  writer.begin_object();
+  writer.field("displayTimeUnit", "ms");
+  writer.key("traceEvents").begin_array();
+  // Process metadata so Perfetto labels the single-process timeline.
+  writer.begin_object()
+      .field("name", "process_name")
+      .field("ph", "M")
+      .field("pid", std::int64_t{1})
+      .field("tid", std::int64_t{0})
+      .key("args")
+      .begin_object()
+      .field("name", "cfgx")
+      .end_object()
+      .end_object();
+  for (const TraceEvent& event : events) {
+    writer.begin_object()
+        .field("name", event.name)
+        .field("cat", event.category)
+        .field("ph", "X")
+        .field("pid", std::int64_t{1})
+        .field("tid", static_cast<std::int64_t>(event.tid))
+        .field("ts", event.start_ns >= epoch
+                         ? static_cast<double>(event.start_ns - epoch) / 1000.0
+                         : 0.0)
+        .field("dur", static_cast<double>(event.duration_ns) / 1000.0)
+        .end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return writer.str();
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << trace_json();
+  return static_cast<bool>(out);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category) noexcept {
+  if (!tracing_enabled()) return;
+  literal_name_ = name;
+  category_ = category;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+TraceSpan::TraceSpan(const std::string& name, const char* category) {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  category_ = category;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  // Spans that straddle stop_tracing() are dropped: every flushed event
+  // lies entirely inside one [start, stop) collection window.
+  if (!active_ || !tracing_enabled()) return;
+  TraceEvent event;
+  event.name = literal_name_ != nullptr ? std::string(literal_name_) : name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.duration_ns = now_ns() - start_ns_;
+  event.tid = thread_id();
+  append_event(std::move(event));
+}
+
+}  // namespace cfgx::obs

@@ -1,0 +1,76 @@
+// RAII trace spans flushed as a Chrome trace_event JSON file.
+//
+// A TraceSpan records one complete ("ph":"X") event - name, category, start
+// timestamp, duration, thread id - into a thread-local buffer; trace_json()
+// / write_trace_file() merge every thread's buffer into a single JSON
+// document that chrome://tracing and Perfetto load directly, so a whole
+// bench run (corpus generation, training epochs, per-explainer phases, pool
+// tasks across workers) renders as one timeline.
+//
+// Overhead contract: when tracing is disabled (the default) constructing a
+// span from a string literal is one relaxed atomic load + branch - no clock
+// read, no allocation - so spans may stay compiled into the hot paths.
+// Collection is enabled explicitly (start_tracing()), typically from the
+// bench harness's --trace flag or the CFGX_TRACE environment variable.
+//
+// Spans nest lexically per thread; the Chrome "X" event model recovers the
+// parent-child relationship from interval containment on the same tid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cfgx::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+// Stable dense id for the calling thread (0, 1, 2, ... in first-touch
+// order). Used as the trace "tid" and by the logger's [Tnn] tag so
+// interleaved pool output is attributable.
+std::uint32_t thread_id() noexcept;
+
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+// Discards previously collected events and starts collecting.
+void start_tracing();
+
+// Stops collecting; buffered events remain available for trace_json().
+void stop_tracing();
+
+void clear_trace_events();
+
+std::size_t trace_event_count();
+
+// The merged Chrome trace document:
+//   {"displayTimeUnit":"ms","traceEvents":[...]}
+// Timestamps are microseconds since start_tracing().
+std::string trace_json();
+
+// Writes trace_json() to `path`; false on I/O failure.
+bool write_trace_file(const std::string& path);
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "cfgx") noexcept;
+  // For names composed at runtime ("explain.CFGExplainer"); the string is
+  // only copied when tracing is enabled.
+  TraceSpan(const std::string& name, const char* category);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* literal_name_ = nullptr;  // set instead of name_ for literals
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace cfgx::obs

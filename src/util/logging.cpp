@@ -1,13 +1,32 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace cfgx {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Info};
+// CFGX_LOG_LEVEL is parsed once, before main() runs, so benches and tests
+// can change verbosity without recompiling or threading a flag through.
+LogLevel initial_log_level() noexcept {
+  const char* env = std::getenv("CFGX_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::Info;
+  try {
+    return log_level_from_string(env);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "[logging] ignoring bad CFGX_LOG_LEVEL '%s'\n", env);
+    return LogLevel::Info;
+  }
+}
+
+std::atomic<LogLevel> g_level{initial_log_level()};
 std::mutex g_io_mutex;
 
 }  // namespace
@@ -16,6 +35,11 @@ LogLevel global_log_level() noexcept { return g_level.load(std::memory_order_rel
 
 void set_global_log_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_default_log_level(LogLevel level) noexcept {
+  const char* env = std::getenv("CFGX_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') set_global_log_level(level);
 }
 
 const char* to_string(LogLevel level) noexcept {
@@ -29,6 +53,18 @@ const char* to_string(LogLevel level) noexcept {
   return "?";
 }
 
+LogLevel log_level_from_string(const std::string& text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug" || lower == "0") return LogLevel::Debug;
+  if (lower == "info" || lower == "1") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning" || lower == "2") return LogLevel::Warn;
+  if (lower == "error" || lower == "3") return LogLevel::Error;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + text + "'");
+}
+
 namespace detail {
 
 LogLine::~LogLine() {
@@ -37,10 +73,10 @@ LogLine::~LogLine() {
                        steady_clock::now().time_since_epoch())
                        .count();
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[%8lld.%03lld] %-5s %s\n",
+  std::fprintf(stderr, "[%8lld.%03lld] [T%02u] %-5s %s\n",
                static_cast<long long>(now / 1000),
-               static_cast<long long>(now % 1000), to_string(level_),
-               stream_.str().c_str());
+               static_cast<long long>(now % 1000), obs::thread_id(),
+               to_string(level_), stream_.str().c_str());
 }
 
 }  // namespace detail

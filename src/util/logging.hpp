@@ -2,6 +2,12 @@
 //
 // Usage: CFGX_LOG(Info) << "trained " << n << " epochs";
 // The global level gates output; benches raise it to keep tables clean.
+//
+// The initial level is parsed from the CFGX_LOG_LEVEL environment variable
+// at startup ("debug", "info", "warn", "error", "off", case-insensitive, or
+// the numeric 0-4); unset or unparsable falls back to Info. Each line is
+// tagged with the stable obs::thread_id() of the emitting thread ([T03]) so
+// interleaved thread-pool output is attributable.
 #pragma once
 
 #include <atomic>
@@ -15,7 +21,15 @@ enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 LogLevel global_log_level() noexcept;
 void set_global_log_level(LogLevel level) noexcept;
 
+// Sets the level only when CFGX_LOG_LEVEL is unset/empty, so a binary can
+// pick its preferred default verbosity without clobbering the user's.
+void set_default_log_level(LogLevel level) noexcept;
+
 const char* to_string(LogLevel level) noexcept;
+
+// Parses a level name ("warn", "WARN") or numeric value ("2"). Throws
+// std::invalid_argument on anything else.
+LogLevel log_level_from_string(const std::string& text);
 
 namespace detail {
 

@@ -1,9 +1,35 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cfgx {
 namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PoolMetrics {
+  obs::Counter& tasks_submitted;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_seconds;
+  obs::Histogram& task_run_seconds;
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics{
+        obs::MetricsRegistry::global().counter("pool.tasks_submitted"),
+        obs::MetricsRegistry::global().gauge("pool.queue_depth"),
+        obs::MetricsRegistry::global().histogram("pool.task_wait_seconds"),
+        obs::MetricsRegistry::global().histogram("pool.task_run_seconds")};
+    return metrics;
+  }
+};
 
 // Identifies the pool (if any) that owns the current thread, so
 // parallel_for can detect reentrant calls and run inline instead of
@@ -50,13 +76,23 @@ bool ThreadPool::in_worker_thread() const {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+  QueuedTask queued;
+  queued.task = std::packaged_task<void()>(std::move(task));
+  std::future<void> future = queued.task.get_future();
+  const bool instrumented = obs::metrics_enabled();
+  if (instrumented) queued.enqueued_seconds = now_seconds();
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(packaged));
+    queue_.push(std::move(queued));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (instrumented) {
+    auto& metrics = PoolMetrics::get();
+    metrics.tasks_submitted.add();
+    metrics.queue_depth.set(static_cast<double>(depth));
+  }
   return future;
 }
 
@@ -99,15 +135,32 @@ void ThreadPool::parallel_for(std::size_t count,
 void ThreadPool::worker_loop() {
   current_worker_pool = this;
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask queued;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      queued = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
     }
-    task();  // exceptions are captured by the packaged_task
+    if (obs::metrics_enabled()) {
+      auto& metrics = PoolMetrics::get();
+      metrics.queue_depth.set(static_cast<double>(depth));
+      const double start = now_seconds();
+      if (queued.enqueued_seconds > 0.0) {
+        metrics.task_wait_seconds.record(start - queued.enqueued_seconds);
+      }
+      {
+        obs::TraceSpan span("pool.task", "pool");
+        queued.task();  // exceptions are captured by the packaged_task
+      }
+      metrics.task_run_seconds.record(now_seconds() - start);
+    } else {
+      obs::TraceSpan span("pool.task", "pool");
+      queued.task();  // exceptions are captured by the packaged_task
+    }
   }
 }
 

@@ -50,8 +50,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Enqueue timestamp rides along so workers can report queue wait time;
+  // it is only populated (and the clock only read) while metrics are on.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    double enqueued_seconds = 0.0;
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -16,6 +16,22 @@ double DurationStats::max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+double DurationStats::percentile(double p) const {
+  if (!(p >= 0.0 && p <= 100.0)) {  // rejects NaN too
+    throw std::invalid_argument("DurationStats::percentile: p outside [0, 100]");
+  }
+  if (samples_.empty()) {
+    throw std::logic_error("DurationStats::percentile: no samples");
+  }
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - fraction) + sorted[lo + 1] * fraction;
+}
+
 std::string DurationStats::summary() const {
   const double m = mean();
   const double sd = stddev();

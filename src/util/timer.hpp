@@ -27,32 +27,43 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-// Accumulates sample durations and reports mean / standard deviation.
+// Accumulates sample durations and reports mean / standard deviation /
+// percentiles. Running sum and sum-of-squares make mean(), total() and
+// stddev() O(1) per call regardless of sample count; the raw samples are
+// retained for percentile() and serialization.
 class DurationStats {
  public:
-  void add(double seconds) { samples_.push_back(seconds); }
+  void add(double seconds) {
+    samples_.push_back(seconds);
+    sum_ += seconds;
+    sum_sq_ += seconds * seconds;
+  }
 
   std::size_t count() const { return samples_.size(); }
 
-  double total() const {
-    double sum = 0.0;
-    for (double s : samples_) sum += s;
-    return sum;
-  }
+  double total() const { return sum_; }
 
-  double mean() const { return samples_.empty() ? 0.0 : total() / samples_.size(); }
+  double mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
 
   // Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double stddev() const {
+    const auto n = static_cast<double>(samples_.size());
     if (samples_.size() < 2) return 0.0;
     const double m = mean();
-    double acc = 0.0;
-    for (double s : samples_) acc += (s - m) * (s - m);
-    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+    // Guard against tiny negative residuals from catastrophic cancellation.
+    const double variance = std::max(0.0, (sum_sq_ - n * m * m) / (n - 1.0));
+    return std::sqrt(variance);
   }
 
   double min() const;
   double max() const;
+
+  // p-th percentile in [0, 100] with linear interpolation between order
+  // statistics (percentile(50) of {1,2,3,4} is 2.5). Throws
+  // std::invalid_argument outside [0, 100] and std::logic_error when empty.
+  double percentile(double p) const;
 
   // "12.3 +/- 0.4 ms" or "1.2 +/- 0.1 s" depending on magnitude.
   std::string summary() const;
@@ -61,6 +72,8 @@ class DurationStats {
 
  private:
   std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
 };
 
 }  // namespace cfgx

@@ -1,0 +1,100 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cfgx::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  JsonWriter writer;
+  writer.begin_object()
+      .field("name", "spmm")
+      .field("count", std::uint64_t{3})
+      .field("ratio", 0.5)
+      .field("ok", true)
+      .key("items")
+      .begin_array()
+      .value(std::int64_t{-1})
+      .value(std::int64_t{2})
+      .end_array()
+      .end_object();
+  EXPECT_EQ(writer.str(),
+            "{\"name\":\"spmm\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"items\":[-1,2]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(writer.str(), "[null,null]");
+}
+
+TEST(JsonWriter, ThrowsOnIncompleteDocument) {
+  JsonWriter writer;
+  writer.begin_object();
+  EXPECT_THROW(writer.str(), std::logic_error);
+}
+
+TEST(JsonWriter, ThrowsOnValueWithoutKeyInObject) {
+  JsonWriter writer;
+  writer.begin_object();
+  EXPECT_THROW(writer.value(1.0), std::logic_error);
+}
+
+TEST(JsonValue, ParsesWriterOutputBack) {
+  JsonWriter writer;
+  writer.begin_object()
+      .field("pi", 3.25)
+      .field("neg", std::int64_t{-7})
+      .field("text", "a\"b")
+      .key("flags")
+      .begin_array()
+      .value(true)
+      .value(false)
+      .end_array()
+      .end_object();
+
+  const JsonValue doc = JsonValue::parse(writer.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("pi").number_value, 3.25);
+  EXPECT_DOUBLE_EQ(doc.at("neg").number_value, -7.0);
+  EXPECT_EQ(doc.at("text").string_value, "a\"b");
+  ASSERT_TRUE(doc.at("flags").is_array());
+  ASSERT_EQ(doc.at("flags").items.size(), 2u);
+  EXPECT_TRUE(doc.at("flags").items[0].bool_value);
+  EXPECT_FALSE(doc.at("flags").items[1].bool_value);
+}
+
+TEST(JsonValue, DecodesUnicodeEscapes) {
+  const JsonValue doc = JsonValue::parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(doc.string_value, "A\xc3\xa9");
+}
+
+TEST(JsonValue, ThrowsOnMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cfgx::obs

@@ -1,0 +1,133 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace cfgx::obs {
+namespace {
+
+TEST(ManifestTest, EmitsSchemaBinaryAndGitRev) {
+  RunManifest manifest("unit_test_binary");
+  const JsonValue doc = JsonValue::parse(manifest.json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").string_value, "cfgx-run-manifest/1");
+  EXPECT_EQ(doc.at("binary").string_value, "unit_test_binary");
+  EXPECT_FALSE(doc.at("git_rev").string_value.empty());
+  EXPECT_GT(doc.at("created_unix").number_value, 0.0);
+}
+
+TEST(ManifestTest, ConfigPreservesTypesAndOverwritesByKey) {
+  RunManifest manifest("t");
+  manifest.set_config("fast", true);
+  manifest.set_config("samples", std::int64_t{42});
+  manifest.set_config("fraction", 0.75);
+  manifest.set_config("cache", "dir_a");
+  manifest.set_config("cache", "dir_b");  // same key: overwrite, not append
+
+  const JsonValue config = JsonValue::parse(manifest.json()).at("config");
+  EXPECT_EQ(config.at("fast").kind, JsonValue::Kind::Bool);
+  EXPECT_TRUE(config.at("fast").bool_value);
+  EXPECT_DOUBLE_EQ(config.at("samples").number_value, 42.0);
+  EXPECT_DOUBLE_EQ(config.at("fraction").number_value, 0.75);
+  EXPECT_EQ(config.at("cache").string_value, "dir_b");
+  EXPECT_EQ(config.members.size(), 4u);
+}
+
+TEST(ManifestTest, TimingsCarryDistributionFields) {
+  RunManifest manifest("t");
+  ManifestTiming timing;
+  timing.name = "explain.CFGExplainer";
+  timing.count = 36;
+  timing.total_seconds = 7.2;
+  timing.mean_seconds = 0.2;
+  timing.stddev_seconds = 0.05;
+  timing.p50_seconds = 0.19;
+  timing.p95_seconds = 0.31;
+  timing.p99_seconds = 0.35;
+  manifest.add_timing(timing);
+
+  const JsonValue timings = JsonValue::parse(manifest.json()).at("timings");
+  ASSERT_TRUE(timings.is_array());
+  ASSERT_EQ(timings.items.size(), 1u);
+  const JsonValue& row = timings.items[0];
+  EXPECT_EQ(row.at("name").string_value, "explain.CFGExplainer");
+  EXPECT_DOUBLE_EQ(row.at("count").number_value, 36.0);
+  EXPECT_DOUBLE_EQ(row.at("mean_seconds").number_value, 0.2);
+  EXPECT_DOUBLE_EQ(row.at("stddev_seconds").number_value, 0.05);
+  EXPECT_DOUBLE_EQ(row.at("p50_seconds").number_value, 0.19);
+  EXPECT_DOUBLE_EQ(row.at("p95_seconds").number_value, 0.31);
+  EXPECT_DOUBLE_EQ(row.at("p99_seconds").number_value, 0.35);
+}
+
+TEST(ManifestTest, ResultsAndTraceFileAppear) {
+  RunManifest manifest("t");
+  manifest.add_result("accuracy", 0.97);
+  manifest.set_trace_file("t_trace.json");
+  const JsonValue doc = JsonValue::parse(manifest.json());
+  EXPECT_DOUBLE_EQ(doc.at("results").at("accuracy").number_value, 0.97);
+  EXPECT_EQ(doc.at("trace_file").string_value, "t_trace.json");
+}
+
+TEST(ManifestTest, TraceFileOmittedWhenUnset) {
+  RunManifest manifest("t");
+  EXPECT_FALSE(JsonValue::parse(manifest.json()).has("trace_file"));
+}
+
+TEST(ManifestTest, MetricsSnapshotEmbedsIntoManifest) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("kernel.spmm.calls", 123u);
+  snapshot.gauges.emplace_back("gnn.last_epoch_loss", 0.5);
+  HistogramStats stats;
+  stats.name = "kernel.spmm.seconds";
+  stats.count = 123;
+  snapshot.histograms.push_back(stats);
+
+  RunManifest manifest("t");
+  manifest.set_metrics(snapshot);
+  const JsonValue metrics = JsonValue::parse(manifest.json()).at("metrics");
+  EXPECT_DOUBLE_EQ(
+      metrics.at("counters").at("kernel.spmm.calls").number_value, 123.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.at("gauges").at("gnn.last_epoch_loss").number_value, 0.5);
+  ASSERT_EQ(metrics.at("histograms").items.size(), 1u);
+}
+
+TEST(ManifestTest, WriteFileRoundTrips) {
+  RunManifest manifest("t");
+  manifest.set_config("fast", true);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cfgx_manifest_test.json")
+          .string();
+  manifest.write_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const JsonValue doc = JsonValue::parse(contents);
+  EXPECT_EQ(doc.at("schema").string_value, "cfgx-run-manifest/1");
+  EXPECT_TRUE(doc.at("config").at("fast").bool_value);
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, WriteFileThrowsOnBadPath) {
+  RunManifest manifest("t");
+  EXPECT_THROW(manifest.write_file("/nonexistent_dir_cfgx/manifest.json"),
+               std::runtime_error);
+}
+
+TEST(ManifestTest, GitRevEnvOverrideWins) {
+  ::setenv("CFGX_GIT_REV", "feedc0de", 1);
+  EXPECT_EQ(build_git_revision(), "feedc0de");
+  ::unsetenv("CFGX_GIT_REV");
+  EXPECT_NE(build_git_revision(), "feedc0de");
+}
+
+}  // namespace
+}  // namespace cfgx::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cfgx::obs {
+namespace {
+
+// Tracing state is process-global; every test starts from a clean slate and
+// leaves tracing off.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stop_tracing();
+    clear_trace_events();
+  }
+
+  void TearDown() override {
+    stop_tracing();
+    clear_trace_events();
+  }
+};
+
+// The trace document's "X" events for one tid, in emitted order.
+struct ParsedEvent {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  double tid = 0.0;
+};
+
+std::vector<ParsedEvent> complete_events(const JsonValue& doc) {
+  std::vector<ParsedEvent> events;
+  for (const JsonValue& event : doc.at("traceEvents").items) {
+    if (event.at("ph").string_value != "X") continue;
+    ParsedEvent parsed;
+    parsed.name = event.at("name").string_value;
+    parsed.ts = event.at("ts").number_value;
+    parsed.dur = event.at("dur").number_value;
+    parsed.tid = event.at("tid").number_value;
+    events.push_back(std::move(parsed));
+  }
+  return events;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  { TraceSpan span("should.not.appear"); }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, EmitsWellFormedChromeTraceJson) {
+  start_tracing();
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+  }
+  stop_tracing();
+
+  // Must parse cleanly and carry the Chrome trace envelope.
+  const JsonValue doc = JsonValue::parse(trace_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").string_value, "ms");
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+
+  const auto events = complete_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  for (const ParsedEvent& event : events) {
+    EXPECT_GE(event.ts, 0.0);
+    EXPECT_GE(event.dur, 0.0);
+  }
+}
+
+TEST_F(TraceTest, NestedSpansAreProperlyParented) {
+  start_tracing();
+  {
+    TraceSpan outer("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      TraceSpan inner("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop_tracing();
+
+  const auto events = complete_events(JsonValue::parse(trace_json()));
+  ASSERT_EQ(events.size(), 2u);
+  const ParsedEvent* outer = nullptr;
+  const ParsedEvent* inner = nullptr;
+  for (const ParsedEvent& event : events) {
+    if (event.name == "outer") outer = &event;
+    if (event.name == "inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+
+  // Chrome recovers nesting from interval containment on the same tid: the
+  // child must start no earlier and end no later than its parent.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  EXPECT_LT(inner->dur, outer->dur);
+}
+
+TEST_F(TraceTest, RuntimeNamesAreCopied) {
+  start_tracing();
+  {
+    std::string name = "dynamic.name";
+    TraceSpan span(name, "test");
+    name = "clobbered";  // the span must have captured its own copy
+  }
+  stop_tracing();
+  const auto events = complete_events(JsonValue::parse(trace_json()));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "dynamic.name");
+}
+
+TEST_F(TraceTest, CollectsSpansFromPoolWorkerThreads) {
+  start_tracing();
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(8, [](std::size_t) {
+      TraceSpan span("worker.span", "test");
+    });
+    // Pool destructor joins the workers; their thread-local buffers must
+    // still be readable afterwards.
+  }
+  stop_tracing();
+
+  const auto events = complete_events(JsonValue::parse(trace_json()));
+  std::size_t worker_spans = 0;
+  for (const ParsedEvent& event : events) {
+    if (event.name == "worker.span") ++worker_spans;
+  }
+  EXPECT_EQ(worker_spans, 8u);
+}
+
+TEST_F(TraceTest, StartTracingDiscardsPreviousRun) {
+  start_tracing();
+  { TraceSpan span("first.run", "test"); }
+  stop_tracing();
+  EXPECT_EQ(trace_event_count(), 1u);
+
+  start_tracing();
+  { TraceSpan span("second.run", "test"); }
+  stop_tracing();
+
+  const auto events = complete_events(JsonValue::parse(trace_json()));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "second.run");
+}
+
+TEST_F(TraceTest, WriteTraceFileProducesLoadableJson) {
+  start_tracing();
+  { TraceSpan span("file.span", "test"); }
+  stop_tracing();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cfgx_trace_test.json").string();
+  ASSERT_TRUE(write_trace_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NO_THROW(JsonValue::parse(contents));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ThreadIdsAreStablePerThread) {
+  const std::uint32_t here = thread_id();
+  EXPECT_EQ(thread_id(), here);
+  std::uint32_t other = here;
+  std::thread([&] { other = thread_id(); }).join();
+  EXPECT_NE(other, here);
+}
+
+}  // namespace
+}  // namespace cfgx::obs

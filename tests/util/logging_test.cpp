@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace cfgx {
 namespace {
 
@@ -28,6 +30,38 @@ TEST_F(LoggingTest, LevelNames) {
   EXPECT_STREQ(to_string(LogLevel::Warn), "WARN");
   EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
   EXPECT_STREQ(to_string(LogLevel::Off), "OFF");
+}
+
+TEST_F(LoggingTest, ParsesLevelNamesCaseInsensitively) {
+  EXPECT_EQ(log_level_from_string("debug"), LogLevel::Debug);
+  EXPECT_EQ(log_level_from_string("INFO"), LogLevel::Info);
+  EXPECT_EQ(log_level_from_string("Warn"), LogLevel::Warn);
+  EXPECT_EQ(log_level_from_string("warning"), LogLevel::Warn);
+  EXPECT_EQ(log_level_from_string("error"), LogLevel::Error);
+  EXPECT_EQ(log_level_from_string("off"), LogLevel::Off);
+  EXPECT_EQ(log_level_from_string("none"), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, ParsesNumericLevels) {
+  EXPECT_EQ(log_level_from_string("0"), LogLevel::Debug);
+  EXPECT_EQ(log_level_from_string("2"), LogLevel::Warn);
+  EXPECT_EQ(log_level_from_string("4"), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, DefaultLevelYieldsToEnvironment) {
+  ::setenv("CFGX_LOG_LEVEL", "debug", 1);
+  set_global_log_level(LogLevel::Info);
+  set_default_log_level(LogLevel::Warn);  // env is set -> no-op
+  EXPECT_EQ(global_log_level(), LogLevel::Info);
+  ::unsetenv("CFGX_LOG_LEVEL");
+  set_default_log_level(LogLevel::Warn);  // env unset -> applies
+  EXPECT_EQ(global_log_level(), LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, RejectsUnknownLevels) {
+  EXPECT_THROW(log_level_from_string(""), std::invalid_argument);
+  EXPECT_THROW(log_level_from_string("verbose"), std::invalid_argument);
+  EXPECT_THROW(log_level_from_string("5"), std::invalid_argument);
 }
 
 TEST_F(LoggingTest, FilteredLineDoesNotEvaluateOperands) {

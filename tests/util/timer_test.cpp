@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 namespace cfgx {
 namespace {
 
@@ -53,6 +56,39 @@ TEST(DurationStatsTest, MinOnEmptyThrows) {
   DurationStats stats;
   EXPECT_THROW(stats.min(), std::logic_error);
   EXPECT_THROW(stats.max(), std::logic_error);
+}
+
+TEST(DurationStatsTest, PercentileInterpolatesOrderStatistics) {
+  DurationStats stats;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) stats.add(v);  // order-independent
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(50.0), 2.5);
+  EXPECT_DOUBLE_EQ(stats.percentile(25.0), 1.75);
+}
+
+TEST(DurationStatsTest, PercentileOfSingleSample) {
+  DurationStats stats;
+  stats.add(7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(95.0), 7.0);
+}
+
+TEST(DurationStatsTest, PercentileValidatesInput) {
+  DurationStats empty;
+  EXPECT_THROW(empty.percentile(50.0), std::logic_error);
+  DurationStats stats;
+  stats.add(1.0);
+  EXPECT_THROW(stats.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW(stats.percentile(100.5), std::invalid_argument);
+  EXPECT_THROW(stats.percentile(std::nan("")), std::invalid_argument);
+}
+
+TEST(DurationStatsTest, P95OfUniformGrid) {
+  DurationStats stats;
+  for (int i = 1; i <= 100; ++i) stats.add(static_cast<double>(i));
+  // rank = 0.95 * 99 = 94.05 -> 95 + 0.05 * (96 - 95).
+  EXPECT_NEAR(stats.percentile(95.0), 95.05, 1e-12);
 }
 
 TEST(DurationStatsTest, SummarySelectsUnits) {
