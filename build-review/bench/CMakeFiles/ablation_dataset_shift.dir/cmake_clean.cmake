@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dataset_shift.dir/ablation_dataset_shift.cpp.o"
+  "CMakeFiles/ablation_dataset_shift.dir/ablation_dataset_shift.cpp.o.d"
+  "ablation_dataset_shift"
+  "ablation_dataset_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dataset_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

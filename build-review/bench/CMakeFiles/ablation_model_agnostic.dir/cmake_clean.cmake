@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_agnostic.dir/ablation_model_agnostic.cpp.o"
+  "CMakeFiles/ablation_model_agnostic.dir/ablation_model_agnostic.cpp.o.d"
+  "ablation_model_agnostic"
+  "ablation_model_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

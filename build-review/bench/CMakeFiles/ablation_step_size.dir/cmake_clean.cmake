@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_step_size.dir/ablation_step_size.cpp.o"
+  "CMakeFiles/ablation_step_size.dir/ablation_step_size.cpp.o.d"
+  "ablation_step_size"
+  "ablation_step_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_step_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

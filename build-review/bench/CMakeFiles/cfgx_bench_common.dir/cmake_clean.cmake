@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_bench_common.dir/common.cpp.o"
+  "CMakeFiles/cfgx_bench_common.dir/common.cpp.o.d"
+  "libcfgx_bench_common.a"
+  "libcfgx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

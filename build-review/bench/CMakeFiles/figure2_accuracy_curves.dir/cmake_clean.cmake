@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_accuracy_curves.dir/figure2_accuracy_curves.cpp.o"
+  "CMakeFiles/figure2_accuracy_curves.dir/figure2_accuracy_curves.cpp.o.d"
+  "figure2_accuracy_curves"
+  "figure2_accuracy_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_accuracy_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

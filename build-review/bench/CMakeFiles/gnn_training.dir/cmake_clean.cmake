@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_training.dir/gnn_training.cpp.o"
+  "CMakeFiles/gnn_training.dir/gnn_training.cpp.o.d"
+  "gnn_training"
+  "gnn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

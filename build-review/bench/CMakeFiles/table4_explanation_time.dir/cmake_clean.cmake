@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_explanation_time.dir/table4_explanation_time.cpp.o"
+  "CMakeFiles/table4_explanation_time.dir/table4_explanation_time.cpp.o.d"
+  "table4_explanation_time"
+  "table4_explanation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_explanation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_qualitative.dir/table5_qualitative.cpp.o"
+  "CMakeFiles/table5_qualitative.dir/table5_qualitative.cpp.o.d"
+  "table5_qualitative"
+  "table5_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_tool.dir/cfgx_tool.cpp.o"
+  "CMakeFiles/cfgx_tool.dir/cfgx_tool.cpp.o.d"
+  "cfgx"
+  "cfgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

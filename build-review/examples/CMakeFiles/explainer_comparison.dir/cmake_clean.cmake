@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainer_comparison.dir/explainer_comparison.cpp.o"
+  "CMakeFiles/explainer_comparison.dir/explainer_comparison.cpp.o.d"
+  "explainer_comparison"
+  "explainer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

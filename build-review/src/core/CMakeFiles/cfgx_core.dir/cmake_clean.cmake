@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_core.dir/explainer_model.cpp.o"
+  "CMakeFiles/cfgx_core.dir/explainer_model.cpp.o.d"
+  "CMakeFiles/cfgx_core.dir/interpreter.cpp.o"
+  "CMakeFiles/cfgx_core.dir/interpreter.cpp.o.d"
+  "CMakeFiles/cfgx_core.dir/trainer.cpp.o"
+  "CMakeFiles/cfgx_core.dir/trainer.cpp.o.d"
+  "libcfgx_core.a"
+  "libcfgx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/codegen.cpp" "src/dataset/CMakeFiles/cfgx_dataset.dir/codegen.cpp.o" "gcc" "src/dataset/CMakeFiles/cfgx_dataset.dir/codegen.cpp.o.d"
+  "/root/repo/src/dataset/corpus.cpp" "src/dataset/CMakeFiles/cfgx_dataset.dir/corpus.cpp.o" "gcc" "src/dataset/CMakeFiles/cfgx_dataset.dir/corpus.cpp.o.d"
+  "/root/repo/src/dataset/families.cpp" "src/dataset/CMakeFiles/cfgx_dataset.dir/families.cpp.o" "gcc" "src/dataset/CMakeFiles/cfgx_dataset.dir/families.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/cfgx_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/cfgx_dataset.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/isa/CMakeFiles/cfgx_isa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/cfgx_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cfgx_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/cfgx_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/cfgx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

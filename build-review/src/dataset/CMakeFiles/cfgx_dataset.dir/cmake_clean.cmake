@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_dataset.dir/codegen.cpp.o"
+  "CMakeFiles/cfgx_dataset.dir/codegen.cpp.o.d"
+  "CMakeFiles/cfgx_dataset.dir/corpus.cpp.o"
+  "CMakeFiles/cfgx_dataset.dir/corpus.cpp.o.d"
+  "CMakeFiles/cfgx_dataset.dir/families.cpp.o"
+  "CMakeFiles/cfgx_dataset.dir/families.cpp.o.d"
+  "CMakeFiles/cfgx_dataset.dir/generator.cpp.o"
+  "CMakeFiles/cfgx_dataset.dir/generator.cpp.o.d"
+  "libcfgx_dataset.a"
+  "libcfgx_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

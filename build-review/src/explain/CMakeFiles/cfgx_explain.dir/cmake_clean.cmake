@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_explain.dir/baselines.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/baselines.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/cfg_explainer.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/cfg_explainer.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/evaluate.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/evaluate.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/explainer_api.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/explainer_api.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/gnnexplainer.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/gnnexplainer.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/parallel.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/parallel.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/pgexplainer.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/pgexplainer.cpp.o.d"
+  "CMakeFiles/cfgx_explain.dir/subgraphx.cpp.o"
+  "CMakeFiles/cfgx_explain.dir/subgraphx.cpp.o.d"
+  "libcfgx_explain.a"
+  "libcfgx_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

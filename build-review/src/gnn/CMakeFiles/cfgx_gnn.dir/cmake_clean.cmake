@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_gnn.dir/classifier.cpp.o"
+  "CMakeFiles/cfgx_gnn.dir/classifier.cpp.o.d"
+  "CMakeFiles/cfgx_gnn.dir/gcn.cpp.o"
+  "CMakeFiles/cfgx_gnn.dir/gcn.cpp.o.d"
+  "CMakeFiles/cfgx_gnn.dir/metrics.cpp.o"
+  "CMakeFiles/cfgx_gnn.dir/metrics.cpp.o.d"
+  "CMakeFiles/cfgx_gnn.dir/trainer.cpp.o"
+  "CMakeFiles/cfgx_gnn.dir/trainer.cpp.o.d"
+  "libcfgx_gnn.a"
+  "libcfgx_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

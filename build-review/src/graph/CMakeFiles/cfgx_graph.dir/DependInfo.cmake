@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/acfg.cpp" "src/graph/CMakeFiles/cfgx_graph.dir/acfg.cpp.o" "gcc" "src/graph/CMakeFiles/cfgx_graph.dir/acfg.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/cfgx_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/cfgx_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/ops.cpp" "src/graph/CMakeFiles/cfgx_graph.dir/ops.cpp.o" "gcc" "src/graph/CMakeFiles/cfgx_graph.dir/ops.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/cfgx_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/cfgx_graph.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/cfgx_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cfgx_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/cfgx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_graph.dir/acfg.cpp.o"
+  "CMakeFiles/cfgx_graph.dir/acfg.cpp.o.d"
+  "CMakeFiles/cfgx_graph.dir/dot.cpp.o"
+  "CMakeFiles/cfgx_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/cfgx_graph.dir/ops.cpp.o"
+  "CMakeFiles/cfgx_graph.dir/ops.cpp.o.d"
+  "CMakeFiles/cfgx_graph.dir/serialize.cpp.o"
+  "CMakeFiles/cfgx_graph.dir/serialize.cpp.o.d"
+  "libcfgx_graph.a"
+  "libcfgx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

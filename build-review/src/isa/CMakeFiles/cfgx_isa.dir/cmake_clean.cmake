@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_isa.dir/features.cpp.o"
+  "CMakeFiles/cfgx_isa.dir/features.cpp.o.d"
+  "CMakeFiles/cfgx_isa.dir/instruction.cpp.o"
+  "CMakeFiles/cfgx_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/cfgx_isa.dir/lifter.cpp.o"
+  "CMakeFiles/cfgx_isa.dir/lifter.cpp.o.d"
+  "CMakeFiles/cfgx_isa.dir/patterns.cpp.o"
+  "CMakeFiles/cfgx_isa.dir/patterns.cpp.o.d"
+  "CMakeFiles/cfgx_isa.dir/program.cpp.o"
+  "CMakeFiles/cfgx_isa.dir/program.cpp.o.d"
+  "libcfgx_isa.a"
+  "libcfgx_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

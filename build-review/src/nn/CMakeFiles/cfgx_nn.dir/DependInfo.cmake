@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/sparse.cpp" "src/nn/CMakeFiles/cfgx_nn.dir/sparse.cpp.o" "gcc" "src/nn/CMakeFiles/cfgx_nn.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/cfgx_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/cfgx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/cfgx_nn.dir/layers.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/cfgx_nn.dir/loss.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/cfgx_nn.dir/matrix.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/cfgx_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cfgx_nn.dir/serialize.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/cfgx_nn.dir/sparse.cpp.o"
+  "CMakeFiles/cfgx_nn.dir/sparse.cpp.o.d"
+  "libcfgx_nn.a"
+  "libcfgx_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_obs.dir/json.cpp.o"
+  "CMakeFiles/cfgx_obs.dir/json.cpp.o.d"
+  "CMakeFiles/cfgx_obs.dir/manifest.cpp.o"
+  "CMakeFiles/cfgx_obs.dir/manifest.cpp.o.d"
+  "CMakeFiles/cfgx_obs.dir/metrics.cpp.o"
+  "CMakeFiles/cfgx_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/cfgx_obs.dir/trace.cpp.o"
+  "CMakeFiles/cfgx_obs.dir/trace.cpp.o.d"
+  "libcfgx_obs.a"
+  "libcfgx_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

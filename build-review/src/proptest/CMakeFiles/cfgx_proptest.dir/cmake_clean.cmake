@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_proptest.dir/fuzz.cpp.o"
+  "CMakeFiles/cfgx_proptest.dir/fuzz.cpp.o.d"
+  "CMakeFiles/cfgx_proptest.dir/generators.cpp.o"
+  "CMakeFiles/cfgx_proptest.dir/generators.cpp.o.d"
+  "CMakeFiles/cfgx_proptest.dir/proptest.cpp.o"
+  "CMakeFiles/cfgx_proptest.dir/proptest.cpp.o.d"
+  "libcfgx_proptest.a"
+  "libcfgx_proptest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_proptest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfgx_proptest.a"
+)

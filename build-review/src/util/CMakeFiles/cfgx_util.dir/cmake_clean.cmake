@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_util.dir/cli.cpp.o"
+  "CMakeFiles/cfgx_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cfgx_util.dir/logging.cpp.o"
+  "CMakeFiles/cfgx_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cfgx_util.dir/rng.cpp.o"
+  "CMakeFiles/cfgx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cfgx_util.dir/table.cpp.o"
+  "CMakeFiles/cfgx_util.dir/table.cpp.o.d"
+  "CMakeFiles/cfgx_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cfgx_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cfgx_util.dir/timer.cpp.o"
+  "CMakeFiles/cfgx_util.dir/timer.cpp.o.d"
+  "libcfgx_util.a"
+  "libcfgx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

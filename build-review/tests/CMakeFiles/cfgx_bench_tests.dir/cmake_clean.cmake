@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_bench_tests.dir/bench/common_test.cpp.o"
+  "CMakeFiles/cfgx_bench_tests.dir/bench/common_test.cpp.o.d"
+  "cfgx_bench_tests"
+  "cfgx_bench_tests.pdb"
+  "cfgx_bench_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_bench_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

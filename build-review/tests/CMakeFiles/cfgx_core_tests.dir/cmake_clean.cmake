@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_core_tests.dir/core/explainer_model_test.cpp.o"
+  "CMakeFiles/cfgx_core_tests.dir/core/explainer_model_test.cpp.o.d"
+  "CMakeFiles/cfgx_core_tests.dir/core/interpreter_test.cpp.o"
+  "CMakeFiles/cfgx_core_tests.dir/core/interpreter_test.cpp.o.d"
+  "CMakeFiles/cfgx_core_tests.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/cfgx_core_tests.dir/core/trainer_test.cpp.o.d"
+  "cfgx_core_tests"
+  "cfgx_core_tests.pdb"
+  "cfgx_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

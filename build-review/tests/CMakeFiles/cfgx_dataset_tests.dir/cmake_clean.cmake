@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/codegen_test.cpp.o"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/codegen_test.cpp.o.d"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/corpus_test.cpp.o"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/corpus_test.cpp.o.d"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/families_test.cpp.o"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/families_test.cpp.o.d"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/family_signatures_test.cpp.o"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/family_signatures_test.cpp.o.d"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/generator_test.cpp.o"
+  "CMakeFiles/cfgx_dataset_tests.dir/dataset/generator_test.cpp.o.d"
+  "cfgx_dataset_tests"
+  "cfgx_dataset_tests.pdb"
+  "cfgx_dataset_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_dataset_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

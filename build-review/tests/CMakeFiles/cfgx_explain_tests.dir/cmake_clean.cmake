@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_explain_tests.dir/explain/api_test.cpp.o"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/api_test.cpp.o.d"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/evaluate_test.cpp.o"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/evaluate_test.cpp.o.d"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/explainers_test.cpp.o"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/explainers_test.cpp.o.d"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/parallel_test.cpp.o"
+  "CMakeFiles/cfgx_explain_tests.dir/explain/parallel_test.cpp.o.d"
+  "cfgx_explain_tests"
+  "cfgx_explain_tests.pdb"
+  "cfgx_explain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_explain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/classifier_test.cpp.o"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/classifier_test.cpp.o.d"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/gcn_test.cpp.o"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/gcn_test.cpp.o.d"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/metrics_test.cpp.o"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/metrics_test.cpp.o.d"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/trainer_test.cpp.o"
+  "CMakeFiles/cfgx_gnn_tests.dir/gnn/trainer_test.cpp.o.d"
+  "cfgx_gnn_tests"
+  "cfgx_gnn_tests.pdb"
+  "cfgx_gnn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_gnn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

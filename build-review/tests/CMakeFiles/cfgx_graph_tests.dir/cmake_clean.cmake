@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_graph_tests.dir/graph/acfg_test.cpp.o"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/acfg_test.cpp.o.d"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/dot_test.cpp.o"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/dot_test.cpp.o.d"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/ops_test.cpp.o"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/ops_test.cpp.o.d"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/serialize_test.cpp.o"
+  "CMakeFiles/cfgx_graph_tests.dir/graph/serialize_test.cpp.o.d"
+  "cfgx_graph_tests"
+  "cfgx_graph_tests.pdb"
+  "cfgx_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/cfgx_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "cfgx_integration_tests"
+  "cfgx_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_isa_tests.dir/isa/features_test.cpp.o"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/features_test.cpp.o.d"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/instruction_test.cpp.o"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/instruction_test.cpp.o.d"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/lifter_test.cpp.o"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/lifter_test.cpp.o.d"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/patterns_test.cpp.o"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/patterns_test.cpp.o.d"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/program_test.cpp.o"
+  "CMakeFiles/cfgx_isa_tests.dir/isa/program_test.cpp.o.d"
+  "cfgx_isa_tests"
+  "cfgx_isa_tests.pdb"
+  "cfgx_isa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_isa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

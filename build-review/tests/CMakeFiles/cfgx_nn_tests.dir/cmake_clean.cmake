@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_nn_tests.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/matrix_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/matrix_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/optimizer_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/optimizer_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/sequential_extra_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/sequential_extra_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/sparse_test.cpp.o"
+  "CMakeFiles/cfgx_nn_tests.dir/nn/sparse_test.cpp.o.d"
+  "cfgx_nn_tests"
+  "cfgx_nn_tests.pdb"
+  "cfgx_nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/json_test.cpp" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/json_test.cpp.o" "gcc" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/json_test.cpp.o.d"
+  "/root/repo/tests/obs/manifest_test.cpp" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/manifest_test.cpp.o" "gcc" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/manifest_test.cpp.o.d"
+  "/root/repo/tests/obs/metrics_test.cpp" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/metrics_test.cpp.o.d"
+  "/root/repo/tests/obs/trace_test.cpp" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cfgx_obs_tests.dir/obs/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/cfgx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/cfgx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_obs_tests.dir/obs/json_test.cpp.o"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/json_test.cpp.o.d"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/manifest_test.cpp.o"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/manifest_test.cpp.o.d"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/metrics_test.cpp.o"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/metrics_test.cpp.o.d"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/trace_test.cpp.o"
+  "CMakeFiles/cfgx_obs_tests.dir/obs/trace_test.cpp.o.d"
+  "cfgx_obs_tests"
+  "cfgx_obs_tests.pdb"
+  "cfgx_obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_property_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/cfgx_property_tests.dir/integration/property_test.cpp.o.d"
+  "cfgx_property_tests"
+  "cfgx_property_tests.pdb"
+  "cfgx_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

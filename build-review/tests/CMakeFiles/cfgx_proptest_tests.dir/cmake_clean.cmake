@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/determinism_test.cpp.o"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/determinism_test.cpp.o.d"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/kernels_oracle_test.cpp.o"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/kernels_oracle_test.cpp.o.d"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/metamorphic_test.cpp.o"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/metamorphic_test.cpp.o.d"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/selftest.cpp.o"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/selftest.cpp.o.d"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/serialize_oracle_test.cpp.o"
+  "CMakeFiles/cfgx_proptest_tests.dir/proptest/serialize_oracle_test.cpp.o.d"
+  "cfgx_proptest_tests"
+  "cfgx_proptest_tests.pdb"
+  "cfgx_proptest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_proptest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfgx_util_tests.dir/util/cli_test.cpp.o"
+  "CMakeFiles/cfgx_util_tests.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/cfgx_util_tests.dir/util/logging_test.cpp.o"
+  "CMakeFiles/cfgx_util_tests.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/cfgx_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/cfgx_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/cfgx_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/cfgx_util_tests.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/cfgx_util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/cfgx_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/cfgx_util_tests.dir/util/timer_test.cpp.o"
+  "CMakeFiles/cfgx_util_tests.dir/util/timer_test.cpp.o.d"
+  "cfgx_util_tests"
+  "cfgx_util_tests.pdb"
+  "cfgx_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfgx_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/cfgx_obs_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_util_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_nn_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_graph_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_isa_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_dataset_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_gnn_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_explain_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_proptest_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cfgx_bench_tests[1]_include.cmake")
+add_test(cfgx_integration "/root/repo/build-review/tests/cfgx_integration_tests")
+set_tests_properties(cfgx_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;105;add_test;/root/repo/tests/CMakeLists.txt;0;")
