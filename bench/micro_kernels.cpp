@@ -8,9 +8,20 @@
 // CFGX_METRICS=0, which disables the in-process metrics registry - the
 // configuration used to measure observability overhead on the matmul
 // throughput numbers.
+//
+// --kernels-baseline[=path] (default BENCH_kernels.json) switches to a
+// self-contained comparison mode instead of running google-benchmark: it
+// times blocked-vs-naive matmul and `_into`-vs-allocating kernel pairs at
+// n in {64, 128, 256} with DurationStats (p50/p95) and records the
+// workspace counter deltas proving the `_into` loops are allocation-free
+// in steady state, then writes the result as JSON and exits.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -20,9 +31,13 @@
 #include "graph/ops.hpp"
 #include "isa/features.hpp"
 #include "nn/sparse.hpp"
+#include "nn/workspace.hpp"
+#include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace cfgx {
 namespace {
@@ -64,6 +79,42 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * 64));
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// The pre-blocking i-k-j loop, kept as detail::matmul_reference_rows. The
+// explicit reshape matches the zero-fill matmul_into performs internally, so
+// the delta against BM_MatmulInto is purely blocked-vs-naive.
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, 64, rng);
+  Matrix out(n, 64);
+  for (auto _ : state) {
+    out.reshape(n, 64);
+    detail::matmul_reference_rows(a, b, out, 0, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 64));
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(128)->Arg(256);
+
+// Destination-passing variant writing into a persistent buffer: the delta
+// against BM_Matmul is the per-call heap allocation of the returned Matrix.
+void BM_MatmulInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, 64, rng);
+  Matrix out;
+  for (auto _ : state) {
+    matmul_into(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 64));
+}
+BENCHMARK(BM_MatmulInto)->Arg(64)->Arg(128)->Arg(256);
 
 // --- dense vs CSR vs parallel on the GCN hot-path product A_hat * H ---
 // Same normalized CFG-density adjacency and feature width (64) in all
@@ -117,6 +168,20 @@ void BM_AdjacencySpmmCsrParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_AdjacencySpmmCsrParallel)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_AdjacencySpmmCsrInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const CsrMatrix a_hat =
+      CsrMatrix::from_dense(normalized_adjacency(cfg_adjacency(n, rng)));
+  const Matrix h = random_matrix(n, 64, rng);
+  Matrix out;
+  for (auto _ : state) {
+    spmm_into(a_hat, h, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AdjacencySpmmCsrInto)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_AdjacencySpmmTransposeCsr(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(11);
@@ -152,6 +217,22 @@ void BM_GcnLayerForwardCsr(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GcnLayerForwardCsr)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GcnLayerInferIntoCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  GcnLayer layer(12, 64, rng);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = 1.0;
+  const CsrMatrix a_hat = CsrMatrix::from_dense(normalized_adjacency(a));
+  const Matrix h = random_matrix(n, 12, rng);
+  Matrix out;
+  for (auto _ : state) {
+    layer.infer_into(a_hat, h, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GcnLayerInferIntoCsr)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_NormalizedAdjacency(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -269,6 +350,136 @@ void BM_BlockFeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockFeatureExtraction);
 
+// --- --kernels-baseline mode -------------------------------------------
+// Manual DurationStats-timed before/after pairs, independent of
+// google-benchmark so the output schema is ours (p50/p95 seconds plus the
+// workspace counter deltas for the `_into` loops). Committed at the repo
+// root as BENCH_kernels.json and uploaded by the CI perf-artifacts job.
+
+DurationStats time_loop(std::size_t iters, const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  for (std::size_t i = 0; i < 5; ++i) fn();  // warm caches and workspace
+  DurationStats stats;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto start = clock::now();
+    fn();
+    stats.add(std::chrono::duration<double>(clock::now() - start).count());
+  }
+  return stats;
+}
+
+void write_stats(obs::JsonWriter& json, const char* label,
+                 const DurationStats& stats) {
+  json.key(label).begin_object();
+  json.field("iterations", static_cast<std::uint64_t>(stats.count()));
+  json.field("mean_s", stats.mean());
+  json.field("p50_s", stats.percentile(50.0));
+  json.field("p95_s", stats.percentile(95.0));
+  json.field("stddev_s", stats.stddev());
+  json.end_object();
+}
+
+int run_kernels_baseline(const std::string& out_path) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& reused =
+      obs::MetricsRegistry::global().counter("workspace.bytes_reused");
+  obs::Counter& allocated =
+      obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "cfgx.bench.kernels.v1");
+  json.field("binary", "micro_kernels");
+  json.field("feature_cols", std::uint64_t{64});
+  json.key("cases").begin_array();
+
+  // Time one before/after pair and emit a case object. The workspace
+  // counter deltas are sampled around the AFTER loop only (the warm-up
+  // inside time_loop runs first, so a non-zero bytes_allocated delta here
+  // means the optimized path still allocates in steady state).
+  const auto emit_case = [&](const char* name, std::size_t n,
+                             std::size_t iters,
+                             const std::function<void()>& before,
+                             const std::function<void()>& after) {
+    const DurationStats before_stats = time_loop(iters, before);
+    const std::uint64_t reused_before = reused.value();
+    const std::uint64_t allocated_before = allocated.value();
+    const DurationStats after_stats = time_loop(iters, after);
+    json.begin_object();
+    json.field("name", name);
+    json.field("n", static_cast<std::uint64_t>(n));
+    write_stats(json, "before", before_stats);
+    write_stats(json, "after", after_stats);
+    json.field("speedup_mean",
+               after_stats.mean() > 0.0
+                   ? before_stats.mean() / after_stats.mean()
+                   : 0.0);
+    json.key("workspace_after_loop").begin_object();
+    json.field("bytes_reused_delta", reused.value() - reused_before);
+    json.field("bytes_allocated_delta", allocated.value() - allocated_before);
+    json.end_object();
+    json.end_object();
+    std::cerr << name << " n=" << n << ": before mean " << before_stats.mean()
+              << "s, after mean " << after_stats.mean() << "s\n";
+  };
+
+  for (const std::size_t n : {std::size_t{64}, std::size_t{128},
+                              std::size_t{256}}) {
+    const std::size_t iters = n <= 64 ? 400 : (n <= 128 ? 120 : 40);
+    Rng rng(1);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, 64, rng);
+    Rng adj_rng(11);
+    const CsrMatrix a_hat = CsrMatrix::from_dense(
+        normalized_adjacency(cfg_adjacency(n, adj_rng)));
+    const Matrix h = random_matrix(n, 64, adj_rng);
+    Rng layer_rng(3);
+    GcnLayer layer(64, 64, layer_rng);
+    Matrix out(n, 64);
+
+    emit_case("matmul_naive_vs_blocked", n, iters,
+              [&] {
+                out.reshape(n, 64);
+                detail::matmul_reference_rows(a, b, out, 0, n);
+                benchmark::DoNotOptimize(out.data());
+              },
+              [&] {
+                matmul_into(a, b, out);
+                benchmark::DoNotOptimize(out.data());
+              });
+    emit_case("matmul_alloc_vs_into", n, iters,
+              [&] { benchmark::DoNotOptimize(matmul(a, b)); },
+              [&] {
+                matmul_into(a, b, out);
+                benchmark::DoNotOptimize(out.data());
+              });
+    emit_case("spmm_alloc_vs_into", n, iters,
+              [&] { benchmark::DoNotOptimize(spmm(a_hat, h)); },
+              [&] {
+                spmm_into(a_hat, h, out);
+                benchmark::DoNotOptimize(out.data());
+              });
+    emit_case("gcn_infer_alloc_vs_into", n, iters,
+              [&] { benchmark::DoNotOptimize(layer.infer(a_hat, h)); },
+              [&] {
+                layer.infer_into(a_hat, h, out);
+                benchmark::DoNotOptimize(out.data());
+              });
+  }
+
+  json.end_array();
+  json.end_object();
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "kernels-baseline: cannot open " << out_path << "\n";
+    return 1;
+  }
+  file << json.str() << "\n";
+  std::cerr << "kernels-baseline: wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace cfgx
 
@@ -277,14 +488,26 @@ BENCHMARK(BM_BlockFeatureExtraction);
 // google-benchmark numbers.
 int main(int argc, char** argv) {
   std::string manifest_path = "micro_kernels_manifest.json";
+  bool kernels_baseline = false;
+  std::string kernels_baseline_path = "BENCH_kernels.json";
   std::vector<char*> benchmark_args;
   for (int i = 0; i < argc; ++i) {
     constexpr char kManifestFlag[] = "--manifest=";
+    constexpr char kBaselineFlag[] = "--kernels-baseline";
     if (std::strncmp(argv[i], kManifestFlag, sizeof kManifestFlag - 1) == 0) {
       manifest_path = argv[i] + sizeof kManifestFlag - 1;
       continue;  // google-benchmark rejects flags it does not know
     }
+    if (std::strncmp(argv[i], kBaselineFlag, sizeof kBaselineFlag - 1) == 0) {
+      kernels_baseline = true;
+      const char* rest = argv[i] + sizeof kBaselineFlag - 1;
+      if (*rest == '=') kernels_baseline_path = rest + 1;
+      continue;
+    }
     benchmark_args.push_back(argv[i]);
+  }
+  if (kernels_baseline) {
+    return cfgx::run_kernels_baseline(kernels_baseline_path);
   }
   int benchmark_argc = static_cast<int>(benchmark_args.size());
   benchmark::Initialize(&benchmark_argc, benchmark_args.data());

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "nn/workspace.hpp"
 
 namespace cfgx {
 namespace {
@@ -95,11 +96,29 @@ Matrix ExplainerModel::conditioned(const Matrix& embeddings) const {
   return scaled;
 }
 
+void ExplainerModel::conditioned_into(const Matrix& embeddings,
+                                      Matrix& out) const {
+  out.reshape(embeddings.rows(), embeddings.cols());
+  const double inv_scale = 1.0 / embedding_scale_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = embeddings.data()[i] * inv_scale;
+  }
+}
+
 Matrix ExplainerModel::score_nodes(const Matrix& embeddings) {
+  Matrix out;
+  score_nodes_into(embeddings, out);
+  return out;
+}
+
+void ExplainerModel::score_nodes_into(const Matrix& embeddings, Matrix& out) {
   if (embeddings.cols() != config_.embedding_dim) {
     throw std::invalid_argument("ExplainerModel::score_nodes: embedding dim mismatch");
   }
-  return scorer_.forward(conditioned(embeddings));
+  Workspace::Lease scaled =
+      Workspace::local().acquire(embeddings.rows(), embeddings.cols());
+  conditioned_into(embeddings, scaled.get());
+  scorer_.forward_into(scaled.get(), out);
 }
 
 ExplainerModel ExplainerModel::clone() const {

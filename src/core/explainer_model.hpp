@@ -51,6 +51,12 @@ class ExplainerModel {
   // joint_forward/joint_backward pair; clone() per thread for parallel use.
   Matrix score_nodes(const Matrix& embeddings);
 
+  // Destination-passing variant: the conditioned embeddings live in a
+  // Workspace scratch buffer and the scorer ping-pongs through the pool,
+  // so steady-state calls allocate nothing. `out` must not alias
+  // `embeddings`. Bit-identical to score_nodes().
+  void score_nodes_into(const Matrix& embeddings, Matrix& out);
+
   // --- joint training pass ---
 
   struct JointForward {
@@ -94,6 +100,7 @@ class ExplainerModel {
   Matrix pool(const Matrix& weighted) const;
 
   Matrix conditioned(const Matrix& embeddings) const;
+  void conditioned_into(const Matrix& embeddings, Matrix& out) const;
 
   ExplainerModelConfig config_;
   double embedding_scale_ = 1.0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/ops.hpp"
+#include "nn/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -20,9 +21,15 @@ Interpretation Interpreter::interpret(const Acfg& graph,
   const std::uint32_t n_real = graph.num_nodes();
   if (n_real == 0) throw std::invalid_argument("Interpreter: empty graph");
 
-  // Working copies of A and X that get progressively masked.
-  Matrix adjacency = graph.dense_adjacency();
+  // The masked graph lives as an incrementally-renormalized CSR: pruning a
+  // node zeroes its edge values in place and re-normalizes only the touched
+  // rows, so the per-iteration cost tracks surviving edges instead of the
+  // O(N^2) densify + renormalize of the previous implementation. The dense
+  // adjacency working copy is kept only when snapshots are requested.
   Matrix features = graph.features();
+  MaskedNormalizedAdjacency masked(graph.dense_adjacency(), features);
+  Matrix adjacency;  // dense mirror, snapshot path only
+  if (config.keep_adjacency_snapshots) adjacency = graph.dense_adjacency();
 
   Interpretation result;
   result.step_size_percent = step;
@@ -36,6 +43,15 @@ Interpretation Interpreter::interpret(const Acfg& graph,
 
   static obs::Counter& iterations_metric =
       obs::MetricsRegistry::global().counter("alg2.iterations");
+  static obs::Histogram& renorm_seconds =
+      obs::MetricsRegistry::global().histogram("alg2.csr_renorm.seconds");
+
+  // Embeddings/scores are workspace leases: repeated interpret() calls on
+  // the same thread recycle the same buffers (workspace.bytes_allocated
+  // stays flat after warm-up).
+  Workspace& workspace = Workspace::local();
+  Workspace::Lease embeddings = workspace.acquire(0, 0);
+  Workspace::Lease scores = workspace.acquire(0, 0);
 
   obs::TraceSpan interpret_span("alg2.interpret", "explain");
   const unsigned iterations = 100 / step;
@@ -49,14 +65,14 @@ Interpretation Interpreter::interpret(const Acfg& graph,
     }
 
     // Re-embed and re-score the masked graph (lines 6-7).
-    Matrix embeddings, scores;
     {
       obs::TraceSpan embed_span("alg2.embed", "explain");
-      embeddings = gnn_->embed(adjacency, features);
+      gnn_->embed_into(masked.a_hat(), masked.inv_sqrt_degree(), features,
+                       embeddings.get());
     }
     {
       obs::TraceSpan score_span("alg2.score", "explain");
-      scores = model_->score_nodes(embeddings);
+      model_->score_nodes_into(embeddings.get(), scores.get());
     }
 
     // Number of nodes to prune this iteration. Fractional step sizes are
@@ -76,7 +92,7 @@ Interpretation Interpreter::interpret(const Acfg& graph,
       std::size_t min_pos = 0;
       double min_score = std::numeric_limits<double>::infinity();
       for (std::size_t pos = 0; pos < remaining.size(); ++pos) {
-        const double score = scores(remaining[pos], 0);
+        const double score = scores.get()(remaining[pos], 0);
         if (score < min_score) {
           min_score = score;
           min_pos = pos;
@@ -85,7 +101,21 @@ Interpretation Interpreter::interpret(const Acfg& graph,
       const std::uint32_t victim = remaining[min_pos];
       remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(min_pos));
       removal_order.push_back(victim);
-      mask_node(adjacency, features, victim);  // lines 17-18 (+ features)
+      // Lines 17-18 (+ feature zeroing, DESIGN decision 3).
+      masked.prune(victim);
+      for (std::size_t c = 0; c < features.cols(); ++c) {
+        features(victim, c) = 0.0;
+      }
+      if (config.keep_adjacency_snapshots) {
+        for (std::size_t j = 0; j < adjacency.cols(); ++j) {
+          adjacency(victim, j) = 0.0;
+          adjacency(j, victim) = 0.0;
+        }
+      }
+    }
+    {
+      obs::ScopedDurationTimer renorm_timer(renorm_seconds);
+      masked.refresh();
     }
   }
 

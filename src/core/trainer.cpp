@@ -6,6 +6,7 @@
 
 #include "graph/ops.hpp"
 #include "nn/loss.hpp"
+#include "nn/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -24,9 +25,11 @@ double validation_retention(ExplainerModel& model, const GnnClassifier& gnn,
                             const std::vector<std::size_t>& gnn_labels) {
   if (indices.empty()) return 0.0;
   std::size_t retained = 0;
+  Workspace::Lease psi_lease = Workspace::local().acquire(0, 0);
   for (std::size_t k = 0; k < indices.size(); ++k) {
     const Acfg& graph = corpus.graph(indices[k]);
-    const Matrix psi = model.score_nodes(embeddings[k]);
+    model.score_nodes_into(embeddings[k], psi_lease.get());
+    const Matrix& psi = psi_lease.get();
     std::vector<double> scores(graph.num_nodes());
     for (std::uint32_t j = 0; j < graph.num_nodes(); ++j) scores[j] = psi(j, 0);
     const auto kept =

@@ -114,17 +114,22 @@ void FeatureScaler::fit(const Corpus& corpus,
 }
 
 Matrix FeatureScaler::transform(const Matrix& features) const {
+  Matrix out;
+  transform_into(features, out);
+  return out;
+}
+
+void FeatureScaler::transform_into(const Matrix& features, Matrix& out) const {
   if (!fitted()) throw std::logic_error("FeatureScaler::transform before fit");
   if (features.cols() != mean_.size()) {
     throw std::invalid_argument("FeatureScaler::transform: column mismatch");
   }
-  Matrix out = features;
+  out.reshape(features.rows(), features.cols());
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) {
-      out(r, c) = (out(r, c) - mean_[c]) / stddev_[c];
+      out(r, c) = (features(r, c) - mean_[c]) / stddev_[c];
     }
   }
-  return out;
 }
 
 Matrix FeatureScaler::to_matrix() const {

@@ -8,6 +8,7 @@
 #include "graph/ops.hpp"
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "nn/workspace.hpp"
 
 namespace cfgx {
 namespace {
@@ -133,18 +134,42 @@ Matrix GnnClassifier::embed(const Matrix& adjacency,
   std::vector<double> inv_sqrt;
   const CsrMatrix a_hat =
       normalized_adjacency_csr(adjacency, inv_sqrt, &raw_features);
-  Matrix h = scaled(raw_features);
-  for (const GcnLayer& layer : gcn_layers_) {
-    h = layer.infer(a_hat, h, kernel_pool_);
+  Matrix out;
+  embed_into(a_hat, inv_sqrt, raw_features, out);
+  return out;
+}
+
+void GnnClassifier::embed_into(const CsrMatrix& a_hat,
+                               const std::vector<double>& inv_sqrt,
+                               const Matrix& raw_features, Matrix& out) const {
+  Workspace& workspace = Workspace::local();
+  Workspace::Lease ping = workspace.acquire(0, 0);
+  Workspace::Lease pong = workspace.acquire(0, 0);
+  const Matrix* h = &raw_features;
+  if (scaler_.fitted()) {
+    scaler_.transform_into(raw_features, ping.get());
+    h = &ping.get();
   }
+  Matrix* scratch = &pong.get();
+  Matrix* other = &ping.get();
+  // Skip rows of inactive (pruned/isolated) nodes in every layer: their
+  // final rows are zeroed below anyway, and live rows only see them
+  // through exact-zero adjacency coefficients, so the skip is invisible.
+  const double* row_live = inv_sqrt.data();
+  for (std::size_t i = 0; i < gcn_layers_.size(); ++i) {
+    Matrix& dst = (i + 1 == gcn_layers_.size()) ? out : *scratch;
+    gcn_layers_[i].infer_into(a_hat, *h, dst, kernel_pool_, row_live);
+    h = &dst;
+    std::swap(scratch, other);
+  }
+  if (gcn_layers_.empty()) out = *h;
   // Inactive nodes would otherwise carry the bias constant ReLU(b) through
   // the stack; zero them so "pruned == padded == absent" holds exactly.
-  for (std::size_t i = 0; i < h.rows(); ++i) {
+  for (std::size_t i = 0; i < out.rows(); ++i) {
     if (inv_sqrt[i] == 0.0) {
-      for (std::size_t c = 0; c < h.cols(); ++c) h(i, c) = 0.0;
+      for (std::size_t c = 0; c < out.cols(); ++c) out(i, c) = 0.0;
     }
   }
-  return h;
 }
 
 Matrix GnnClassifier::class_logits(const Matrix& embeddings,

@@ -81,6 +81,15 @@ class GnnClassifier {
   // nothing downstream.
   Matrix embed(const Matrix& adjacency, const Matrix& raw_features) const;
 
+  // Destination-passing embed for callers that already hold the normalized
+  // CSR adjacency and its d^{-1/2} vector (the incremental Algorithm-2
+  // masking path rebuilds neither per iteration). Intermediates ping-pong
+  // through Workspace scratch, so steady-state calls allocate nothing.
+  // `out` must not alias `raw_features`. Bit-identical to embed() given the
+  // same A_hat / inv_sqrt.
+  void embed_into(const CsrMatrix& a_hat, const std::vector<double>& inv_sqrt,
+                  const Matrix& raw_features, Matrix& out) const;
+
   // Class logits from embeddings: mean over the ACTIVE nodes + dense.
   // `active_count` is the number of active nodes (see
   // count_active_nodes); pass 0 to infer it as the number of non-zero

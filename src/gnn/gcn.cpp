@@ -1,21 +1,32 @@
 #include "gnn/gcn.hpp"
 
+#include "nn/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cfgx {
 namespace {
 
-Matrix add_bias_rows(Matrix m, const Matrix& bias) {
+void add_bias_rows_inplace(Matrix& m, const Matrix& bias) {
   for (std::size_t r = 0; r < m.rows(); ++r) {
     for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) += bias(0, c);
   }
+}
+
+Matrix add_bias_rows(Matrix m, const Matrix& bias) {
+  add_bias_rows_inplace(m, bias);
   return m;
 }
 
-Matrix relu(Matrix m) {
+// Note: clamps strictly negative values only — keeps -0.0 and NaN as-is,
+// unlike std::max(0.0, x). The layer tests pin this behaviour.
+void relu_inplace(Matrix& m) {
   for (std::size_t i = 0; i < m.size(); ++i) {
     if (m.data()[i] < 0.0) m.data()[i] = 0.0;
   }
+}
+
+Matrix relu(Matrix m) {
+  relu_inplace(m);
   return m;
 }
 
@@ -32,8 +43,29 @@ Matrix GcnLayer::infer(const Matrix& a_hat, const Matrix& h) const {
 
 Matrix GcnLayer::infer(const CsrMatrix& a_hat, const Matrix& h,
                        ThreadPool* pool) const {
-  return relu(add_bias_rows(spmm(a_hat, matmul(h, weight_.value), pool),
-                            bias_.value));
+  Matrix out;
+  infer_into(a_hat, h, out, pool);
+  return out;
+}
+
+void GcnLayer::infer_into(const CsrMatrix& a_hat, const Matrix& h, Matrix& out,
+                          ThreadPool* pool, const double* row_live) const {
+  Workspace::Lease hw = Workspace::local().acquire(h.rows(), out_features());
+  matmul_live_rows_into(h, weight_.value, hw.get(), row_live);
+  spmm_live_rows_into(a_hat, hw.get(), out, row_live, pool);
+  if (row_live == nullptr) {
+    add_bias_rows_inplace(out, bias_.value);
+    relu_inplace(out);
+    return;
+  }
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    if (row_live[r] == 0.0) continue;  // masked rows stay exactly zero
+    double* row = out.data() + r * out.cols();
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] += bias_.value(0, c);
+      if (row[c] < 0.0) row[c] = 0.0;  // same clamp as relu_inplace
+    }
+  }
 }
 
 Matrix GcnLayer::forward(const Matrix& a_hat, const Matrix& h) {
@@ -55,9 +87,9 @@ Matrix GcnLayer::forward(const CsrMatrix& a_hat, const Matrix& h,
   cached_csr_path_ = true;
   cached_pool_ = pool;
   cached_h_ = h;
-  cached_hw_ = matmul(h, weight_.value);
-  cached_preactivation_ =
-      add_bias_rows(spmm(cached_a_csr_, cached_hw_, pool), bias_.value);
+  matmul_into(h, weight_.value, cached_hw_);
+  spmm_into(cached_a_csr_, cached_hw_, cached_preactivation_, pool);
+  add_bias_rows_inplace(cached_preactivation_, bias_.value);
   return relu(cached_preactivation_);
 }
 
@@ -71,14 +103,23 @@ Matrix GcnLayer::backward(const Matrix& grad_output, Matrix* grad_a_hat) {
   bias_.grad += grad_pre.col_sums();
 
   // d(HW) = A_hat^T dP;  dW = H^T d(HW);  dH = d(HW) W^T;  dA = dP (HW)^T.
-  const Matrix grad_hw =
-      cached_csr_path_ ? spmm_transpose_a(cached_a_csr_, grad_pre, cached_pool_)
-                       : matmul_transpose_a(cached_a_hat_, grad_pre);
-  weight_.grad += matmul_transpose_a(cached_h_, grad_hw);
-  if (grad_a_hat != nullptr) {
-    *grad_a_hat += matmul_transpose_b(grad_pre, cached_hw_);
+  // Gradients accumulate (+=) into Parameter::grad, so products that feed an
+  // accumulation are computed into workspace scratch first.
+  Workspace& workspace = Workspace::local();
+  Workspace::Lease grad_hw = workspace.acquire(0, 0);
+  if (cached_csr_path_) {
+    spmm_transpose_a_into(cached_a_csr_, grad_pre, grad_hw.get(), cached_pool_);
+  } else {
+    matmul_transpose_a_into(cached_a_hat_, grad_pre, grad_hw.get());
   }
-  return matmul_transpose_b(grad_hw, weight_.value);
+  Workspace::Lease scratch = workspace.acquire(0, 0);
+  matmul_transpose_a_into(cached_h_, grad_hw.get(), scratch.get());
+  weight_.grad += scratch.get();
+  if (grad_a_hat != nullptr) {
+    matmul_transpose_b_into(grad_pre, cached_hw_, scratch.get());
+    *grad_a_hat += scratch.get();
+  }
+  return matmul_transpose_b(grad_hw.get(), weight_.value);
 }
 
 }  // namespace cfgx

@@ -42,6 +42,20 @@ class GcnLayer {
   Matrix infer(const CsrMatrix& a_hat, const Matrix& h,
                ThreadPool* pool = nullptr) const;
 
+  // Destination-passing inference: writes ReLU(A_hat H W + b) into `out`
+  // (reshaped, capacity-reusing) with the H*W intermediate held in a
+  // Workspace scratch buffer — zero allocations in steady state. `out`
+  // must not alias `h`. Bit-identical to the value-returning overloads.
+  //
+  // `row_live` (optional, length = rows) skips every row i with
+  // row_live[i] == 0.0 — the row stays exactly zero instead of carrying
+  // ReLU(b). Live rows are unaffected: a masked node's values only reach
+  // them through adjacency coefficients that are exactly 0.0, and an
+  // accumulator seeded at +0.0 is unchanged by +/-0.0 terms.
+  void infer_into(const CsrMatrix& a_hat, const Matrix& h, Matrix& out,
+                  ThreadPool* pool = nullptr,
+                  const double* row_live = nullptr) const;
+
   // Cached training forward. The CSR overload caches the sparse adjacency
   // so backward() runs the sparse kernels too.
   Matrix forward(const Matrix& a_hat, const Matrix& h);

@@ -82,6 +82,167 @@ CsrMatrix normalized_adjacency_csr(const Matrix& adjacency,
       normalized_adjacency(adjacency, inv_sqrt_degree, features));
 }
 
+MaskedNormalizedAdjacency::MaskedNormalizedAdjacency(const Matrix& adjacency,
+                                                     const Matrix& features) {
+  if (adjacency.rows() != adjacency.cols()) {
+    throw std::invalid_argument(
+        "MaskedNormalizedAdjacency: matrix must be square");
+  }
+  const std::size_t n = adjacency.rows();
+  if (features.rows() != n) {
+    throw std::invalid_argument(
+        "MaskedNormalizedAdjacency: feature/adjacency row mismatch");
+  }
+
+  // Mirror the dense normalized_adjacency computation step for step so the
+  // initial values are bit-identical to the reference.
+  Matrix s(n, n);
+  active_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = adjacency(i, j) + adjacency(j, i);
+      s(i, j) = v;
+      if (v != 0.0) {
+        active_[i] = 1;
+        active_[j] = 1;
+      }
+    }
+  }
+  feature_active_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      if (features(i, c) != 0.0) {
+        feature_active_[i] = 1;
+        break;
+      }
+    }
+    if (feature_active_[i]) active_[i] = 1;
+  }
+
+  // Frozen structure: symmetrized non-zeros plus the full diagonal (the
+  // self-loop slot, even for currently-inactive nodes — activity only ever
+  // decreases, so no entry outside this set can become non-zero later).
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (s(i, j) != 0.0 || i == j) {
+        col_idx.push_back(static_cast<std::uint32_t>(j));
+        s_edge_.push_back(s(i, j));
+      }
+    }
+    row_ptr[i + 1] = col_idx.size();
+  }
+
+  // Self-loops, degrees and d^{-1/2}: identical operation sequence to the
+  // dense reference (single `+= 1.0`, full-row column-order sum).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active_[i]) s(i, i) += 1.0;
+  }
+  degree_.assign(n, 0.0);
+  inv_sqrt_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) degree += s(i, j);
+    degree_[i] = degree;
+    if (degree > 0.0) inv_sqrt_[i] = 1.0 / std::sqrt(degree);
+  }
+
+  std::vector<double> values(col_idx.size(), 0.0);
+  diag_pos_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const std::uint32_t j = col_idx[p];
+      if (j == i) diag_pos_[i] = p;
+      values[p] = s(i, j) * (inv_sqrt_[i] * inv_sqrt_[j]);
+    }
+  }
+
+  // mirror_[p] = index of the transposed entry; the structure is symmetric
+  // (s is, and the diagonal is complete), so a cursor pass suffices.
+  mirror_.assign(col_idx.size(), 0);
+  std::vector<std::size_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      mirror_[cursor[col_idx[p]]++] = p;
+    }
+  }
+
+  alive_.assign(n, 1);
+  is_dirty_.assign(n, 0);
+  a_hat_ = CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+void MaskedNormalizedAdjacency::mark_dirty(std::uint32_t node) {
+  if (!is_dirty_[node]) {
+    is_dirty_[node] = 1;
+    dirty_.push_back(node);
+  }
+}
+
+void MaskedNormalizedAdjacency::prune(std::uint32_t node) {
+  if (node >= alive_.size()) {
+    throw std::out_of_range("MaskedNormalizedAdjacency::prune: out of range");
+  }
+  if (!alive_[node]) return;
+  alive_[node] = 0;
+  feature_active_[node] = 0;
+  mark_dirty(node);
+  const auto& row_ptr = a_hat_.row_ptr();
+  const auto& col_idx = a_hat_.col_idx();
+  for (std::size_t p = row_ptr[node]; p < row_ptr[node + 1]; ++p) {
+    if (s_edge_[p] != 0.0) {
+      mark_dirty(col_idx[p]);
+      s_edge_[p] = 0.0;
+      s_edge_[mirror_[p]] = 0.0;
+    }
+  }
+}
+
+void MaskedNormalizedAdjacency::refresh() {
+  const auto& row_ptr = a_hat_.row_ptr();
+  const auto& col_idx = a_hat_.col_idx();
+
+  // Pass 1: activity, degree, d^{-1/2} for every touched node. All
+  // inv_sqrt_ updates land before any value uses them (pass 2).
+  for (const std::uint32_t d : dirty_) {
+    bool act = feature_active_[d] != 0;
+    for (std::size_t p = row_ptr[d]; p < row_ptr[d + 1] && !act; ++p) {
+      if (s_edge_[p] != 0.0) act = true;
+    }
+    active_[d] = act ? 1 : 0;
+    double degree = 0.0;
+    for (std::size_t p = row_ptr[d]; p < row_ptr[d + 1]; ++p) {
+      double term = s_edge_[p];
+      // The self-loop joins the diagonal weight in ONE add, matching the
+      // dense path's `s(i, i) += 1.0` before its row sum.
+      if (col_idx[p] == d && act) term = s_edge_[p] + 1.0;
+      degree += term;
+    }
+    degree_[d] = degree;
+    inv_sqrt_[d] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+
+  // Pass 2: renormalize every entry in a touched row plus its mirror.
+  // s and c_i*c_j are both symmetric bitwise, so the mirror gets the same
+  // value; entries with two dirty endpoints are written twice, idempotently.
+  auto& values = a_hat_.values_mut();
+  for (const std::uint32_t d : dirty_) {
+    const double cd = inv_sqrt_[d];
+    for (std::size_t p = row_ptr[d]; p < row_ptr[d + 1]; ++p) {
+      const std::uint32_t j = col_idx[p];
+      double sv = s_edge_[p];
+      if (j == d && active_[d]) sv += 1.0;
+      const double v = sv * (cd * inv_sqrt_[j]);
+      values[p] = v;
+      values[mirror_[p]] = v;
+    }
+    is_dirty_[d] = 0;
+  }
+  dirty_.clear();
+}
+
 std::size_t count_active_nodes(const Matrix& adjacency, const Matrix& features) {
   if (adjacency.rows() != adjacency.cols() ||
       adjacency.rows() != features.rows()) {

@@ -43,6 +43,71 @@ CsrMatrix normalized_adjacency_csr(const Matrix& adjacency,
                                    std::vector<double>& inv_sqrt_degree,
                                    const Matrix* features = nullptr);
 
+// Incrementally maskable normalized adjacency for the Algorithm-2 pruning
+// loop. Construction is O(N^2) once (it mirrors normalized_adjacency
+// exactly); each prune() + refresh() then costs O(edges incident to the
+// touched nodes) instead of re-densifying and re-normalizing the whole
+// matrix per iteration.
+//
+// The CSR structure is frozen at construction: the non-zeros of the
+// symmetrized adjacency plus the full diagonal (the self-loop slot).
+// Pruning zeroes *values* in place — structural entries holding 0.0
+// contribute nothing against finite operands, so spmm over this matrix is
+// bit-identical to spmm over the freshly-built CSR of the masked dense
+// graph (see the structural-zero discussion in nn/sparse.hpp).
+//
+// Bit-identity with the dense reference is maintained by recomputation,
+// never by algebraic updates: degrees of touched nodes are RE-SUMMED over
+// their row in column order (FP addition is not invertible, so subtracting
+// a pruned edge's weight would drift), the self-loop enters the sum as the
+// single add `s_ii + 1.0` the dense path performs, and every normalized
+// value uses the dense association v = s * (c_i * c_j). Requires
+// non-negative edge weights (true for ACFGs; needed so zero entries can be
+// skipped in degree sums without disturbing signed-zero accumulation).
+class MaskedNormalizedAdjacency {
+ public:
+  // `features` participates in the activity test (self-loop policy above),
+  // exactly as normalized_adjacency(adjacency, &features).
+  MaskedNormalizedAdjacency(const Matrix& adjacency, const Matrix& features);
+
+  // Marks `node` pruned: zeroes its symmetrized edge weights (both
+  // orientations) and its feature-activity bit, and queues the node and
+  // its structural neighbours for renormalization. No-op if already pruned.
+  // Call refresh() before reading a_hat()/inv_sqrt_degree().
+  void prune(std::uint32_t node);
+
+  // Recomputes activity, degree, d^{-1/2} and normalized values for every
+  // node touched since the last refresh. Cost tracks surviving edges.
+  void refresh();
+
+  const CsrMatrix& a_hat() const noexcept { return a_hat_; }
+  const std::vector<double>& inv_sqrt_degree() const noexcept {
+    return inv_sqrt_;
+  }
+  bool alive(std::uint32_t node) const { return alive_.at(node) != 0; }
+  std::size_t num_nodes() const noexcept { return alive_.size(); }
+  // Nodes queued for the next refresh() (exposed for tests/metrics).
+  std::size_t pending_dirty() const noexcept { return dirty_.size(); }
+
+ private:
+  void mark_dirty(std::uint32_t node);
+
+  CsrMatrix a_hat_;
+  // Symmetrized weights A_ij + A_ji parallel to a_hat_'s values; the
+  // diagonal slot stores 2*A_ii WITHOUT the self-loop (activity decides the
+  // +1.0 at refresh time). Zeroed, never rebuilt, as nodes are pruned.
+  std::vector<double> s_edge_;
+  std::vector<std::size_t> mirror_;    // index of the transposed entry
+  std::vector<std::size_t> diag_pos_;  // index of (i, i) in row i
+  std::vector<char> alive_;
+  std::vector<char> feature_active_;  // non-zero feature row AND alive
+  std::vector<char> active_;          // self-loop policy flag
+  std::vector<double> degree_;
+  std::vector<double> inv_sqrt_;
+  std::vector<std::uint32_t> dirty_;
+  std::vector<char> is_dirty_;
+};
+
 // Number of *active* nodes under the self-loop policy above: nodes with an
 // incident edge or a non-zero feature row. Pruned and padded nodes are
 // inactive. The classifier's readout pools over this count.

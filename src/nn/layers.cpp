@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/workspace.hpp"
+
 namespace cfgx {
+namespace {
+
+inline double relu_value(double x) { return x > 0.0 ? x : 0.0; }
+
+inline double sigmoid_value(double x) {
+  // Numerically stable in both tails.
+  return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                  : std::exp(x) / (1.0 + std::exp(x));
+}
+
+}  // namespace
 
 Matrix glorot_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
   const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
@@ -20,12 +33,17 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng,
       bias_(name + ".b", Matrix(1, out_features)) {}
 
 Matrix Dense::forward(const Matrix& input) {
-  cached_input_ = input;
-  Matrix out = matmul(input, weight_.value);
+  Matrix out;
+  forward_into(input, out);
+  return out;
+}
+
+void Dense::forward_into(const Matrix& input, Matrix& out) {
+  cached_input_ = input;  // copy-assign reuses the cache's capacity
+  matmul_into(input, weight_.value, out);
   for (std::size_t r = 0; r < out.rows(); ++r) {
     for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += bias_.value(0, c);
   }
-  return out;
 }
 
 Matrix Dense::backward(const Matrix& grad_output) {
@@ -38,10 +56,14 @@ Matrix Dense::backward(const Matrix& grad_output) {
 Matrix Relu::forward(const Matrix& input) {
   cached_input_ = input;
   Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::max(0.0, out.data()[i]);
-  }
+  out.apply(relu_value);
   return out;
+}
+
+void Relu::forward_into(const Matrix& input, Matrix& out) {
+  cached_input_ = input;
+  out = input;
+  out.apply(relu_value);
 }
 
 Matrix Relu::backward(const Matrix& grad_output) {
@@ -54,14 +76,15 @@ Matrix Relu::backward(const Matrix& grad_output) {
 
 Matrix Sigmoid::forward(const Matrix& input) {
   Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const double x = out.data()[i];
-    // Numerically stable in both tails.
-    out.data()[i] = x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
-                             : std::exp(x) / (1.0 + std::exp(x));
-  }
+  out.apply(sigmoid_value);
   cached_output_ = out;
   return out;
+}
+
+void Sigmoid::forward_into(const Matrix& input, Matrix& out) {
+  out = input;
+  out.apply(sigmoid_value);
+  cached_output_ = out;
 }
 
 Matrix Sigmoid::backward(const Matrix& grad_output) {
@@ -108,6 +131,31 @@ Matrix Sequential::forward(const Matrix& input) {
   Matrix current = input;
   for (auto& module : modules_) current = module->forward(current);
   return current;
+}
+
+void Sequential::forward_into(const Matrix& input, Matrix& out) {
+  if (modules_.empty()) {
+    out = input;
+    return;
+  }
+  if (modules_.size() == 1) {
+    modules_.front()->forward_into(input, out);
+    return;
+  }
+  // Ping-pong between two workspace buffers; the last module writes
+  // straight into `out`, so no final copy is needed.
+  Workspace& workspace = Workspace::local();
+  Workspace::Lease ping = workspace.acquire(0, 0);
+  Workspace::Lease pong = workspace.acquire(0, 0);
+  const Matrix* current = &input;
+  Matrix* scratch = &ping.get();
+  Matrix* other = &pong.get();
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    Matrix& dst = (i + 1 == modules_.size()) ? out : *scratch;
+    modules_[i]->forward_into(*current, dst);
+    current = &dst;
+    std::swap(scratch, other);
+  }
 }
 
 Matrix Sequential::backward(const Matrix& grad_output) {

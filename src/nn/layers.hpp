@@ -41,6 +41,15 @@ class Module {
   virtual Matrix forward(const Matrix& input) = 0;
   virtual Matrix backward(const Matrix& grad_output) = 0;
 
+  // Destination-passing forward: reshapes `out` (capacity-reusing) and
+  // overwrites it. `out` must not alias `input`. The default delegates to
+  // forward(); hot modules (Dense, Relu, Sigmoid, Sequential) override it
+  // with allocation-free implementations backed by the Workspace pool.
+  // Results are bit-identical to forward() in every override.
+  virtual void forward_into(const Matrix& input, Matrix& out) {
+    out = forward(input);
+  }
+
   // Trainable parameters (may be empty for activations).
   virtual std::vector<Parameter*> parameters() { return {}; }
 
@@ -57,6 +66,7 @@ class Dense : public Module {
         std::string name = "dense");
 
   Matrix forward(const Matrix& input) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
   Matrix backward(const Matrix& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
 
@@ -76,6 +86,7 @@ class Dense : public Module {
 class Relu : public Module {
  public:
   Matrix forward(const Matrix& input) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
   Matrix backward(const Matrix& grad_output) override;
 
  private:
@@ -86,6 +97,7 @@ class Relu : public Module {
 class Sigmoid : public Module {
  public:
   Matrix forward(const Matrix& input) override;
+  void forward_into(const Matrix& input, Matrix& out) override;
   Matrix backward(const Matrix& grad_output) override;
 
  private:
@@ -120,6 +132,9 @@ class Sequential : public Module {
   }
 
   Matrix forward(const Matrix& input) override;
+  // Ping-pongs intermediates through Workspace scratch buffers, so a
+  // steady-state forward pass allocates nothing.
+  void forward_into(const Matrix& input, Matrix& out) override;
   Matrix backward(const Matrix& grad_output) override;
   std::vector<Parameter*> parameters() override;
 

@@ -148,17 +148,12 @@ std::string Matrix::to_string(int decimals) const {
   return out.str();
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) throw_shape("matmul", a, b);
-  static obs::Counter& calls =
-      obs::MetricsRegistry::global().counter("kernel.matmul.calls");
-  static obs::Histogram& seconds =
-      obs::MetricsRegistry::global().histogram("kernel.matmul.seconds");
-  calls.add();
-  obs::ScopedDurationTimer timer(seconds);
-  Matrix out(a.rows(), b.cols());
+namespace detail {
+
+void matmul_reference_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                           std::size_t row_begin, std::size_t row_end) {
   // i-k-j loop order for cache-friendly access of row-major operands.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     double* out_row = out.data() + i * out.cols();
     for (std::size_t k = 0; k < a.cols(); ++k) {
       // No zero-skip here: the dense kernel is the IEEE-faithful reference
@@ -168,12 +163,144 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
       for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
     }
   }
+}
+
+namespace {
+
+// Panel sizes tuned for doubles: a KC x NC panel of B (128 KiB at the
+// maxima) stays L2-resident while every row pair of A streams against it.
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockN = 256;
+
+// One (i-pair, k-panel, j-panel) tile: two output rows accumulate against
+// the same B rows, halving B traffic; the innermost loop is unrolled 4
+// wide. Each out[i][j] still accumulates over k in strictly increasing
+// order, so the result is bit-identical to matmul_reference_rows.
+inline void tile_two_rows(const double* a_row0, const double* a_row1,
+                          const double* b_data, double* out_row0,
+                          double* out_row1, std::size_t n_cols,
+                          std::size_t k_begin, std::size_t k_end,
+                          std::size_t j_begin, std::size_t j_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const double a0k = a_row0[k];
+    const double a1k = a_row1[k];
+    const double* b_row = b_data + k * n_cols;
+    std::size_t j = j_begin;
+    for (; j + 4 <= j_end; j += 4) {
+      out_row0[j] += a0k * b_row[j];
+      out_row0[j + 1] += a0k * b_row[j + 1];
+      out_row0[j + 2] += a0k * b_row[j + 2];
+      out_row0[j + 3] += a0k * b_row[j + 3];
+      out_row1[j] += a1k * b_row[j];
+      out_row1[j + 1] += a1k * b_row[j + 1];
+      out_row1[j + 2] += a1k * b_row[j + 2];
+      out_row1[j + 3] += a1k * b_row[j + 3];
+    }
+    for (; j < j_end; ++j) {
+      out_row0[j] += a0k * b_row[j];
+      out_row1[j] += a1k * b_row[j];
+    }
+  }
+}
+
+inline void tile_one_row(const double* a_row, const double* b_data,
+                         double* out_row, std::size_t n_cols,
+                         std::size_t k_begin, std::size_t k_end,
+                         std::size_t j_begin, std::size_t j_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const double aik = a_row[k];
+    const double* b_row = b_data + k * n_cols;
+    std::size_t j = j_begin;
+    for (; j + 4 <= j_end; j += 4) {
+      out_row[j] += aik * b_row[j];
+      out_row[j + 1] += aik * b_row[j + 1];
+      out_row[j + 2] += aik * b_row[j + 2];
+      out_row[j + 3] += aik * b_row[j + 3];
+    }
+    for (; j < j_end; ++j) out_row[j] += aik * b_row[j];
+  }
+}
+
+}  // namespace
+
+void matmul_block_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                       std::size_t row_begin, std::size_t row_end) {
+  const std::size_t n_cols = b.cols();
+  const std::size_t k_total = a.cols();
+  for (std::size_t jj = 0; jj < n_cols; jj += kBlockN) {
+    const std::size_t j_end = std::min(n_cols, jj + kBlockN);
+    for (std::size_t kk = 0; kk < k_total; kk += kBlockK) {
+      const std::size_t k_end = std::min(k_total, kk + kBlockK);
+      std::size_t i = row_begin;
+      for (; i + 2 <= row_end; i += 2) {
+        tile_two_rows(a.data() + i * k_total, a.data() + (i + 1) * k_total,
+                      b.data(), out.data() + i * n_cols,
+                      out.data() + (i + 1) * n_cols, n_cols, kk, k_end, jj,
+                      j_end);
+      }
+      if (i < row_end) {
+        tile_one_row(a.data() + i * k_total, b.data(),
+                     out.data() + i * n_cols, n_cols, kk, k_end, jj, j_end);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) throw_shape("matmul", a, b);
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.matmul.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.matmul.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
+  out.reshape(a.rows(), b.cols());
+  detail::matmul_block_rows(a, b, out, 0, a.rows());
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul_into(a, b, out);
   return out;
 }
 
-Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+void matmul_live_rows_into(const Matrix& a, const Matrix& b, Matrix& out,
+                           const double* row_live) {
+  if (row_live == nullptr) {
+    matmul_into(a, b, out);
+    return;
+  }
+  if (a.cols() != b.rows()) throw_shape("matmul", a, b);
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.matmul.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.matmul.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
+  out.reshape(a.rows(), b.cols());
+  // Run the blocked kernel over maximal contiguous runs of live rows; the
+  // reshape above already left every masked row at exact zero.
+  std::size_t i = 0;
+  while (i < a.rows()) {
+    if (row_live[i] == 0.0) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i + 1;
+    while (end < a.rows() && row_live[end] != 0.0) ++end;
+    detail::matmul_block_rows(a, b, out, i, end);
+    i = end;
+  }
+}
+
+void matmul_transpose_a_into(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.rows() != b.rows()) throw_shape("matmul_transpose_a", a, b);
-  Matrix out(a.cols(), b.cols());
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.matmul_transpose_a.calls");
+  calls.add();
+  out.reshape(a.cols(), b.cols());
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const double* a_row = a.data() + k * a.cols();
     const double* b_row = b.data() + k * b.cols();
@@ -183,12 +310,20 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
       for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
     }
   }
+}
+
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul_transpose_a_into(a, b, out);
   return out;
 }
 
-Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+void matmul_transpose_b_into(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.cols()) throw_shape("matmul_transpose_b", a, b);
-  Matrix out(a.rows(), b.rows());
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.matmul_transpose_b.calls");
+  calls.add();
+  out.reshape(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* a_row = a.data() + i * a.cols();
     double* out_row = out.data() + i * out.cols();
@@ -199,6 +334,11 @@ Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
       out_row[j] = acc;
     }
   }
+}
+
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul_transpose_b_into(a, b, out);
   return out;
 }
 

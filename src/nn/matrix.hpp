@@ -11,6 +11,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace cfgx {
@@ -38,6 +39,17 @@ class Matrix {
   std::size_t cols() const noexcept { return cols_; }
   std::size_t size() const noexcept { return data_.size(); }
   bool empty() const noexcept { return data_.empty(); }
+  // Heap capacity in doubles; reshape() within it never reallocates.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+
+  // Resizes to rows x cols and zero-fills. Reuses the existing heap block
+  // whenever its capacity suffices — the Workspace recycling contract and
+  // the reason the `_into` kernels are allocation-free in steady state.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
 
   double* data() noexcept { return data_.data(); }
   const double* data() const noexcept { return data_.data(); }
@@ -73,7 +85,16 @@ class Matrix {
   Matrix& operator*=(double scalar) noexcept;
   Matrix& hadamard_inplace(const Matrix& other);
 
-  // Applies fn to every element.
+  // Applies fn to every element. The template overload is the hot path
+  // (inlined, no type erasure — ReLU/Sigmoid/mask application); the
+  // std::function overload is kept for ABI/test compatibility and wins
+  // overload resolution only when a std::function is passed explicitly.
+  template <typename Fn>
+    requires std::is_invocable_r_v<double, Fn, double>
+  Matrix& apply(Fn&& fn) {
+    for (double& v : data_) v = fn(v);
+    return *this;
+  }
   Matrix& apply(const std::function<double(double)>& fn);
 
   // --- elementwise (value-returning) ---
@@ -106,12 +127,49 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// --- destination-passing kernels (the allocation-free hot path) ---
+//
+// Each `_into` variant reshapes `out` to the result shape (zero-filling,
+// capacity-reusing — see Matrix::reshape) and overwrites it. `out` must not
+// alias `a` or `b`. The value-returning functions below are thin wrappers
+// and therefore bit-identical; both run the cache-blocked microkernel,
+// whose per-element accumulation order over k is the same strictly
+// increasing order as the naive i-k-j reference, so results match the
+// reference to the last bit (verified by the `prop` differential suites).
+
 // C = A * B. Throws std::invalid_argument on inner-dimension mismatch.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
 Matrix matmul(const Matrix& a, const Matrix& b);
+// Row-masked C = A * B: computes only rows i with row_live[i] != 0.0 (the
+// reshape leaves masked rows at exact zero); nullptr degrades to
+// matmul_into. Live rows are bit-identical to matmul_into — Algorithm 2
+// uses this to skip rows of pruned nodes, whose values only ever reach
+// surviving rows through exact-zero adjacency coefficients.
+void matmul_live_rows_into(const Matrix& a, const Matrix& b, Matrix& out,
+                           const double* row_live);
 // C = A^T * B without materializing A^T.
+void matmul_transpose_a_into(const Matrix& a, const Matrix& b, Matrix& out);
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b);
 // C = A * B^T without materializing B^T.
+void matmul_transpose_b_into(const Matrix& a, const Matrix& b, Matrix& out);
 Matrix matmul_transpose_b(const Matrix& a, const Matrix& b);
+
+namespace detail {
+
+// Cache-blocked (tiled) dense microkernel computing rows [row_begin,
+// row_end) of out += A * B with a 2-row register tile and a 4-wide unrolled
+// innermost loop. Shared by the serial matmul_into and the row-partitioned
+// matmul_parallel. `out` rows must be zeroed on entry.
+void matmul_block_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                       std::size_t row_begin, std::size_t row_end);
+
+// The naive i-k-j reference loop (the pre-blocking kernel), kept as the
+// IEEE-faithful oracle for the differential tests and the blocked-vs-naive
+// micro benches. Bit-identical to matmul_block_rows by construction.
+void matmul_reference_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                           std::size_t row_begin, std::size_t row_end);
+
+}  // namespace detail
 
 // True when both shapes match and all |a-b| <= tol.
 bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);

@@ -71,18 +71,6 @@ void spmm_transpose_cols(const CsrMatrix& a, const Matrix& b, Matrix& out,
   }
 }
 
-void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out,
-                 std::size_t row_begin, std::size_t row_end) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    double* out_row = out.data() + i * out.cols();
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      const double* b_row = b.data() + k * b.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-    }
-  }
-}
-
 }  // namespace
 
 CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double threshold) {
@@ -163,7 +151,8 @@ double CsrMatrix::density() const noexcept {
                     : static_cast<double>(nnz()) / static_cast<double>(total);
 }
 
-Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
+void spmm_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+               ThreadPool* pool) {
   if (a.cols() != b.rows()) throw_spmm_shape("spmm", a.rows(), a.cols(), b);
   static obs::Counter& calls =
       obs::MetricsRegistry::global().counter("kernel.spmm.calls");
@@ -171,7 +160,7 @@ Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
       obs::MetricsRegistry::global().histogram("kernel.spmm.seconds");
   calls.add();
   obs::ScopedDurationTimer timer(seconds);
-  Matrix out(a.rows(), b.cols());
+  out.reshape(a.rows(), b.cols());
   if (pool != nullptr && a.rows() > 1) {
     parallel_ranges(*pool, a.rows(), [&](std::size_t begin, std::size_t end) {
       spmm_rows(a, b, out, begin, end);
@@ -179,10 +168,42 @@ Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
   } else {
     spmm_rows(a, b, out, 0, a.rows());
   }
+}
+
+Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
+  Matrix out;
+  spmm_into(a, b, out, pool);
   return out;
 }
 
-Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
+void spmm_live_rows_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                         const double* row_live, ThreadPool* pool) {
+  if (row_live == nullptr) {
+    spmm_into(a, b, out, pool);
+    return;
+  }
+  if (a.cols() != b.rows()) throw_spmm_shape("spmm", a.rows(), a.cols(), b);
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("kernel.spmm.calls");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::global().histogram("kernel.spmm.seconds");
+  calls.add();
+  obs::ScopedDurationTimer timer(seconds);
+  out.reshape(a.rows(), b.cols());
+  const auto live_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (row_live[i] != 0.0) spmm_rows(a, b, out, i, i + 1);
+    }
+  };
+  if (pool != nullptr && a.rows() > 1) {
+    parallel_ranges(*pool, a.rows(), live_rows);
+  } else {
+    live_rows(0, a.rows());
+  }
+}
+
+void spmm_transpose_a_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                           ThreadPool* pool) {
   if (a.rows() != b.rows()) {
     throw_spmm_shape("spmm_transpose_a", a.rows(), a.cols(), b);
   }
@@ -192,7 +213,7 @@ Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
       obs::MetricsRegistry::global().histogram("kernel.spmm_transpose.seconds");
   calls.add();
   obs::ScopedDurationTimer timer(seconds);
-  Matrix out(a.cols(), b.cols());
+  out.reshape(a.cols(), b.cols());
   if (pool != nullptr && b.cols() > 1) {
     parallel_ranges(*pool, b.cols(), [&](std::size_t begin, std::size_t end) {
       spmm_transpose_cols(a, b, out, begin, end);
@@ -200,10 +221,16 @@ Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
   } else {
     spmm_transpose_cols(a, b, out, 0, b.cols());
   }
+}
+
+Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b, ThreadPool* pool) {
+  Matrix out;
+  spmm_transpose_a_into(a, b, out, pool);
   return out;
 }
 
-Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
+void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& out,
+                          ThreadPool& pool) {
   if (a.cols() != b.rows()) {
     throw_spmm_shape("matmul_parallel", a.rows(), a.cols(), b);
   }
@@ -213,10 +240,15 @@ Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
       obs::MetricsRegistry::global().histogram("kernel.matmul_parallel.seconds");
   calls.add();
   obs::ScopedDurationTimer timer(seconds);
-  Matrix out(a.rows(), b.cols());
+  out.reshape(a.rows(), b.cols());
   parallel_ranges(pool, a.rows(), [&](std::size_t begin, std::size_t end) {
-    matmul_rows(a, b, out, begin, end);
+    detail::matmul_block_rows(a, b, out, begin, end);
   });
+}
+
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool) {
+  Matrix out;
+  matmul_parallel_into(a, b, out, pool);
   return out;
 }
 

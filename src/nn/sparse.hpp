@@ -47,6 +47,11 @@ class CsrMatrix {
   Matrix to_dense() const;
   CsrMatrix transpose() const;
 
+  // Mutable access to the stored values (structure stays fixed). The
+  // incremental Algorithm-2 masking path rewrites the normalized values in
+  // place each pruning iteration instead of rebuilding the CSR arrays.
+  std::vector<double>& values_mut() noexcept { return values_; }
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   std::size_t nnz() const noexcept { return values_.size(); }
@@ -70,17 +75,34 @@ class CsrMatrix {
 // C = A * B with A in CSR form. Throws std::invalid_argument on
 // inner-dimension mismatch. With a pool, rows of C are computed in
 // worker_count chunks (deterministic; see header comment).
+//
+// The `_into` variants reshape `out` (zero-filling, capacity-reusing) and
+// overwrite it; `out` must not alias `b`. The value-returning functions
+// are thin wrappers, so both paths are bit-identical.
+void spmm_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+               ThreadPool* pool = nullptr);
 Matrix spmm(const CsrMatrix& a, const Matrix& b, ThreadPool* pool = nullptr);
+
+// Row-masked spmm: computes only rows i with row_live[i] != 0.0, leaving
+// masked rows at the exact zero the reshape wrote; nullptr degrades to
+// spmm_into. Live rows are bit-identical to spmm_into.
+void spmm_live_rows_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                         const double* row_live, ThreadPool* pool = nullptr);
 
 // C = A^T * B without materializing A^T. With a pool, each worker owns a
 // disjoint slice of B's columns (scatter over output rows is race-free
 // because writes within a slice never overlap across workers).
+void spmm_transpose_a_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                           ThreadPool* pool = nullptr);
 Matrix spmm_transpose_a(const CsrMatrix& a, const Matrix& b,
                         ThreadPool* pool = nullptr);
 
-// Dense C = A * B with rows of C partitioned across the pool. Identical
+// Dense C = A * B with rows of C partitioned across the pool, each worker
+// running the cache-blocked microkernel on its row range. Identical
 // results to matmul(a, b); use for the large dense products (gradient
 // scatter, readout) that stay dense.
+void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& out,
+                          ThreadPool& pool);
 Matrix matmul_parallel(const Matrix& a, const Matrix& b, ThreadPool& pool);
 
 }  // namespace cfgx

@@ -1,0 +1,63 @@
+#include "nn/workspace.hpp"
+
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace cfgx {
+
+Workspace& Workspace::local() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+void Workspace::Lease::release() {
+  if (workspace_ != nullptr) {
+    workspace_->release_buffer(std::move(buffer_));
+    workspace_ = nullptr;
+  }
+}
+
+Workspace::Lease Workspace::acquire(std::size_t rows, std::size_t cols) {
+  static obs::Counter& bytes_reused =
+      obs::MetricsRegistry::global().counter("workspace.bytes_reused");
+  static obs::Counter& bytes_allocated =
+      obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+
+  const std::size_t needed = rows * cols;
+  // Best fit: the smallest pooled buffer that already holds `needed`
+  // doubles, so a small scratch does not burn a big buffer's capacity.
+  std::size_t best = pool_.size();
+  std::size_t best_capacity = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const std::size_t capacity = pool_[i].capacity();
+    if (capacity >= needed && capacity < best_capacity) {
+      best = i;
+      best_capacity = capacity;
+    }
+  }
+  if (best < pool_.size()) {
+    Matrix buffer = std::move(pool_[best]);
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+    buffer.reshape(rows, cols);  // capacity suffices: zero-fill, no alloc
+    bytes_reused.add(needed * sizeof(double));
+    return Lease(this, std::move(buffer));
+  }
+  bytes_allocated.add(needed * sizeof(double));
+  return Lease(this, Matrix(rows, cols));
+}
+
+void Workspace::release_buffer(Matrix buffer) {
+  // Keep even zero-capacity buffers out of the pool: they can never serve
+  // a request and would only slow the scan down.
+  if (buffer.capacity() == 0) return;
+  pool_.push_back(std::move(buffer));
+}
+
+std::size_t Workspace::pooled_capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Matrix& m : pool_) total += m.capacity();
+  return total;
+}
+
+}  // namespace cfgx

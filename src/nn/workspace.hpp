@@ -1,0 +1,101 @@
+// Thread-local scratch-buffer pool backing the allocation-free kernel path.
+//
+// Every destination-passing kernel (`matmul_into`, `spmm_into`, ...) writes
+// into a caller-owned Matrix, and the hot callers (GCN inference, the
+// Algorithm-2 interpreter, the explainer scorer) own those destinations as
+// Workspace leases: acquire() hands out a shape-tagged scratch Matrix whose
+// heap block is recycled across forward/backward passes, so a steady-state
+// workload (repeated `interpret()` calls on same-sized graphs) performs no
+// heap allocation at all after warm-up.
+//
+// Ownership rules (DESIGN.md decision 12):
+//   * A Lease owns its buffer for its lifetime and returns it to the pool on
+//     destruction. Leases nest freely (LIFO or not) and may be moved, but
+//     never copied.
+//   * Buffers come back zero-filled at the requested shape; `_into` kernels
+//     may reshape them (capacity is reused, the pool only grows).
+//   * The pool is thread-local: kernels running on ThreadPool workers write
+//     into the *caller's* destination and never touch the worker's pool, so
+//     no synchronization is needed.
+//
+// Observability: `workspace.bytes_reused` counts bytes served from pooled
+// capacity; `workspace.bytes_allocated` counts bytes that needed fresh heap.
+// After warm-up the allocated counter must stay flat — the property the
+// steady-state determinism tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace cfgx {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // The calling thread's pool. Buffers never migrate across threads.
+  static Workspace& local();
+
+  // RAII ownership of one scratch buffer; returns it to the pool on
+  // destruction. Movable so helpers can hand leases to callers.
+  class Lease {
+   public:
+    Lease(Workspace* workspace, Matrix buffer)
+        : workspace_(workspace), buffer_(std::move(buffer)) {}
+
+    Lease(Lease&& other) noexcept
+        : workspace_(other.workspace_), buffer_(std::move(other.buffer_)) {
+      other.workspace_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        workspace_ = other.workspace_;
+        buffer_ = std::move(other.buffer_);
+        other.workspace_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() { release(); }
+
+    Matrix& operator*() noexcept { return buffer_; }
+    Matrix* operator->() noexcept { return &buffer_; }
+    Matrix& get() noexcept { return buffer_; }
+    const Matrix& get() const noexcept { return buffer_; }
+
+   private:
+    void release();
+
+    Workspace* workspace_;
+    Matrix buffer_;
+  };
+
+  // A zero-filled rows x cols scratch buffer. Served from the smallest
+  // pooled buffer with sufficient capacity when one exists (counted as
+  // reused bytes); otherwise fresh storage is allocated (counted as
+  // allocated bytes).
+  Lease acquire(std::size_t rows, std::size_t cols);
+
+  // Buffers currently sitting in the pool (not leased out).
+  std::size_t pooled_count() const noexcept { return pool_.size(); }
+  // Total capacity (in doubles) of pooled buffers.
+  std::size_t pooled_capacity() const noexcept;
+
+  // Drops every pooled buffer (tests; trimming after a huge one-off graph).
+  void clear() { pool_.clear(); }
+
+ private:
+  friend class Lease;
+  void release_buffer(Matrix buffer);
+
+  std::vector<Matrix> pool_;
+};
+
+}  // namespace cfgx

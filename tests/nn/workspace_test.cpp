@@ -1,0 +1,268 @@
+// Workspace scratch-buffer pool: recycling behaviour, lease semantics, the
+// reshape/capacity contract the `_into` kernels rely on, and the
+// bit-identity of the destination-passing kernels with their value-returning
+// wrappers on small fixed shapes (random shapes live in the `prop` suite).
+#include "nn/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
+#include "obs/metrics.hpp"
+
+namespace cfgx {
+namespace {
+
+bool bit_identical(const Matrix& a, const Matrix& b) {
+  return a.same_shape(b) &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(MatrixReshape, ZeroFillsAndKeepsCapacity) {
+  Matrix m(4, 5);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = 1.0 + i;
+  const std::size_t cap = m.capacity();
+  ASSERT_GE(cap, 20u);
+
+  m.reshape(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_GE(m.capacity(), cap);  // shrink never releases the block
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+
+  m.reshape(0, 7);  // zero elements, shape still recorded
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 7u);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(WorkspaceTest, AcquireReturnsZeroFilledShape) {
+  Workspace workspace;
+  Workspace::Lease lease = workspace.acquire(3, 4);
+  EXPECT_EQ(lease->rows(), 3u);
+  EXPECT_EQ(lease->cols(), 4u);
+  for (std::size_t i = 0; i < lease->size(); ++i) {
+    EXPECT_EQ(lease->data()[i], 0.0);
+  }
+}
+
+TEST(WorkspaceTest, ReleasedBufferIsRecycled) {
+  const bool saved = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& reused =
+      obs::MetricsRegistry::global().counter("workspace.bytes_reused");
+  auto& allocated =
+      obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+
+  Workspace workspace;
+  const double* block = nullptr;
+  {
+    Workspace::Lease lease = workspace.acquire(8, 8);
+    lease->fill(3.5);
+    block = lease->data();
+    EXPECT_EQ(workspace.pooled_count(), 0u);
+  }
+  EXPECT_EQ(workspace.pooled_count(), 1u);
+  EXPECT_GE(workspace.pooled_capacity(), 64u);
+
+  const std::uint64_t reused_before = reused.value();
+  const std::uint64_t allocated_before = allocated.value();
+  {
+    // Smaller request served from the same heap block, zero-filled again.
+    Workspace::Lease lease = workspace.acquire(4, 4);
+    EXPECT_EQ(lease->data(), block);
+    for (std::size_t i = 0; i < lease->size(); ++i) {
+      EXPECT_EQ(lease->data()[i], 0.0);
+    }
+    EXPECT_EQ(workspace.pooled_count(), 0u);
+  }
+  EXPECT_EQ(reused.value() - reused_before, 16u * sizeof(double));
+  EXPECT_EQ(allocated.value(), allocated_before);
+
+  obs::set_metrics_enabled(saved);
+}
+
+TEST(WorkspaceTest, BestFitPrefersSmallestSufficientBuffer) {
+  Workspace workspace;
+  const double* small_block = nullptr;
+  const double* big_block = nullptr;
+  {
+    Workspace::Lease big = workspace.acquire(16, 16);
+    Workspace::Lease small = workspace.acquire(2, 2);
+    big_block = big->data();
+    small_block = small->data();
+  }
+  EXPECT_EQ(workspace.pooled_count(), 2u);
+  Workspace::Lease lease = workspace.acquire(2, 2);
+  EXPECT_EQ(lease->data(), small_block);
+  Workspace::Lease lease_big = workspace.acquire(10, 10);
+  EXPECT_EQ(lease_big->data(), big_block);
+}
+
+TEST(WorkspaceTest, ZeroSizedLeaseNeverPoolsUseless) {
+  Workspace workspace;
+  { Workspace::Lease lease = workspace.acquire(0, 0); }
+  // A never-grown zero-capacity buffer would only slow the pool scan down.
+  EXPECT_EQ(workspace.pooled_count(), 0u);
+}
+
+TEST(WorkspaceTest, LeaseMoveTransfersOwnership) {
+  Workspace workspace;
+  Workspace::Lease a = workspace.acquire(3, 3);
+  const double* block = a->data();
+  Workspace::Lease b = std::move(a);
+  EXPECT_EQ(b->data(), block);
+  EXPECT_EQ(workspace.pooled_count(), 0u);  // no double release on a's death
+
+  Workspace::Lease c = workspace.acquire(2, 2);
+  c = std::move(b);  // move-assign releases c's old buffer first
+  EXPECT_EQ(c->data(), block);
+  EXPECT_EQ(workspace.pooled_count(), 1u);
+}
+
+TEST(WorkspaceTest, ClearDropsPooledBuffers) {
+  Workspace workspace;
+  { Workspace::Lease lease = workspace.acquire(5, 5); }
+  ASSERT_EQ(workspace.pooled_count(), 1u);
+  workspace.clear();
+  EXPECT_EQ(workspace.pooled_count(), 0u);
+  EXPECT_EQ(workspace.pooled_capacity(), 0u);
+}
+
+TEST(WorkspaceTest, LocalIsStableAcrossCalls) {
+  EXPECT_EQ(&Workspace::local(), &Workspace::local());
+}
+
+TEST(MatrixApply, TemplateAndStdFunctionOverloadsAgree) {
+  Matrix a{{-1.5, 0.0, 2.0}, {3.0, -0.25, -0.0}};
+  Matrix b = a;
+  a.apply([](double v) { return v > 0.0 ? v : 0.0; });  // inlined template
+  b.apply(std::function<double(double)>(
+      [](double v) { return v > 0.0 ? v : 0.0; }));  // type-erased overload
+  EXPECT_TRUE(bit_identical(a, b));
+  EXPECT_EQ(a(0, 0), 0.0);
+  EXPECT_EQ(a(1, 0), 3.0);
+}
+
+TEST(IntoKernels, MatchValueReturningWrappersOnFixedShapes) {
+  Matrix a{{1.0, -2.0, 0.5}, {0.0, 3.0, -1.0}};
+  Matrix b{{2.0, 0.0}, {1.0, -1.5}, {0.25, 4.0}};
+
+  Matrix out;
+  matmul_into(a, b, out);
+  EXPECT_TRUE(bit_identical(out, matmul(a, b)));
+
+  Matrix tall{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  matmul_transpose_a_into(tall, tall, out);
+  EXPECT_TRUE(bit_identical(out, matmul_transpose_a(tall, tall)));
+
+  matmul_transpose_b_into(a, Matrix{{1.0, 0.5, 2.0}}, out);
+  EXPECT_TRUE(bit_identical(out, matmul_transpose_b(a, Matrix{{1.0, 0.5, 2.0}})));
+
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  spmm_into(csr, b, out);
+  EXPECT_TRUE(bit_identical(out, spmm(csr, b)));
+
+  Matrix rhs{{1.0, -1.0}, {2.0, 0.5}};
+  spmm_transpose_a_into(csr, rhs, out);
+  EXPECT_TRUE(bit_identical(out, spmm_transpose_a(csr, rhs)));
+}
+
+TEST(IntoKernels, DirtyDestinationIsFullyOverwritten) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix out(7, 9, 123.0);  // wrong shape AND non-zero contents
+  matmul_into(a, a, out);
+  EXPECT_TRUE(bit_identical(out, matmul(a, a)));
+}
+
+TEST(IntoKernels, EmptyAndOneByOneShapes) {
+  Matrix empty(0, 3);
+  Matrix b(3, 0);
+  Matrix out;
+  matmul_into(empty, Matrix(3, 4), out);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 4u);
+  matmul_into(Matrix(2, 3), b, out);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 0u);
+
+  Matrix one{{2.5}};
+  matmul_into(one, one, out);
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out.cols(), 1u);
+  EXPECT_EQ(out(0, 0), 6.25);
+}
+
+TEST(IntoKernels, LiveRowsVariantsSkipMaskedRowsOnly) {
+  Matrix a{{1.0, -2.0}, {3.0, 4.0}, {-0.5, 0.25}, {2.0, 2.0}};
+  Matrix b{{2.0, 0.5, -1.0}, {1.0, -1.5, 0.0}};
+  const std::vector<double> live = {1.0, 0.0, 0.3, 0.0};
+
+  Matrix full, masked(9, 9, 5.0);  // dirty destination
+  matmul_into(a, b, full);
+  matmul_live_rows_into(a, b, masked, live.data());
+  ASSERT_TRUE(masked.same_shape(full));
+  for (std::size_t r = 0; r < full.rows(); ++r) {
+    for (std::size_t c = 0; c < full.cols(); ++c) {
+      EXPECT_EQ(masked(r, c), live[r] != 0.0 ? full(r, c) : 0.0);
+    }
+  }
+  Matrix null_mask;
+  matmul_live_rows_into(a, b, null_mask, nullptr);
+  EXPECT_TRUE(bit_identical(null_mask, full));
+
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  Matrix sp_full, sp_masked;
+  spmm_into(csr, b, sp_full);
+  spmm_live_rows_into(csr, b, sp_masked, live.data());
+  ASSERT_TRUE(sp_masked.same_shape(sp_full));
+  for (std::size_t r = 0; r < sp_full.rows(); ++r) {
+    for (std::size_t c = 0; c < sp_full.cols(); ++c) {
+      EXPECT_EQ(sp_masked(r, c), live[r] != 0.0 ? sp_full(r, c) : 0.0);
+    }
+  }
+}
+
+TEST(IntoKernels, MatmulIntoThrowsOnShapeMismatch) {
+  Matrix a(2, 3), b(4, 2), out;
+  EXPECT_THROW(matmul_into(a, b, out), std::invalid_argument);
+}
+
+TEST(ModuleForwardInto, MatchesForwardForEveryHotModule) {
+  Rng rng(7);
+  Sequential net;
+  net.emplace<Dense>(5, 8, rng);
+  net.emplace<Relu>();
+  net.emplace<Dense>(8, 3, rng);
+  net.emplace<Sigmoid>();
+
+  Matrix input(4, 5);
+  Rng data_rng(11);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.data()[i] = data_rng.uniform(-2.0, 2.0);
+  }
+
+  const Matrix expected = net.forward(input);
+  Matrix out;
+  net.forward_into(input, out);
+  EXPECT_TRUE(bit_identical(out, expected));
+
+  // Single-module and empty Sequentials take the no-ping-pong short cuts.
+  Sequential solo;
+  solo.emplace<Relu>();
+  solo.forward_into(input, out);
+  EXPECT_TRUE(bit_identical(out, solo.forward(input)));
+
+  Sequential none;
+  none.forward_into(input, out);
+  EXPECT_TRUE(bit_identical(out, input));
+}
+
+}  // namespace
+}  // namespace cfgx
