@@ -1,0 +1,240 @@
+// Serving-engine throughput bench: concurrent clients hammer an
+// ExplanationEngine and the run reports explanations/sec plus client-side
+// latency percentiles (p50/p95/p99). Output is committed at the repo root
+// as BENCH_serve.json and uploaded by the CI perf-artifacts job.
+//
+// The GNN and Theta are randomly initialized, NOT trained: inference and
+// Algorithm-2 cost are independent of the weight values, so throughput
+// numbers are identical to a trained model's while the bench stays fast
+// enough for CI. Graphs come from the synthetic corpus generator, so node
+// counts and sparsity follow the realistic ACFG regime.
+//
+// Flags:
+//   --out=PATH      output path               (default BENCH_serve.json)
+//   --clients=N     concurrent client threads (default 4)
+//   --requests=N    requests per client       (default 64)
+//   --queue=N       engine queue capacity     (default 32)
+//   --batch=N       engine max batch size     (default 8)
+//   --workers=N     explainer pool workers    (default hardware)
+//   --fast          quarter-size run (smoke)
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace cfgx {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClientTotals {
+  DurationStats latency;
+  std::uint64_t ok = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t explain_error = 0;
+  std::uint64_t other = 0;
+};
+
+int run(const CliArgs& args) {
+  const bool fast = args.get_flag("fast");
+  const std::string out_path = args.get_string("out", "BENCH_serve.json");
+  const std::size_t clients =
+      static_cast<std::size_t>(args.get_int("clients", 4));
+  const std::size_t requests_per_client =
+      static_cast<std::size_t>(args.get_int("requests", fast ? 16 : 64));
+  serve::ServeConfig serve_config;
+  serve_config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 32));
+  serve_config.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
+  serve_config.explain_workers =
+      static_cast<std::size_t>(args.get_int("workers", 0));
+
+  obs::set_metrics_enabled(true);
+
+  // Model at the repo's default (paper-scaled-down) dimensions.
+  Rng rng(2022);
+  GnnClassifier gnn(GnnConfig{}, rng);
+
+  ExplainerModelConfig theta_config;
+  theta_config.embedding_dim = gnn.config().embedding_dim();
+  theta_config.num_classes = gnn.config().num_classes;
+  Rng theta_rng(7);
+  ExplainerModel theta(theta_config, theta_rng);
+
+  // Realistic request mix: one corpus graph per family and variant.
+  CorpusConfig corpus_config;
+  corpus_config.samples_per_family = fast ? 1 : 2;
+  corpus_config.seed = 99;
+  const Corpus corpus = generate_corpus(corpus_config);
+
+  serve::ExplanationEngine engine(
+      gnn, serve::make_cfg_explainer_factory(gnn, std::move(theta)),
+      serve_config);
+
+  std::mutex totals_mutex;
+  ClientTotals totals;
+
+  // One full client round: `record` selects whether results land in
+  // `totals` (the measured round) or are discarded (warm-up).
+  const auto run_round = [&](bool record) {
+    std::vector<std::thread> client_threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        ClientTotals local;
+        for (std::size_t i = 0; i < requests_per_client; ++i) {
+          const Acfg& graph =
+              corpus.graph((c * requests_per_client + i) % corpus.size());
+          const Clock::time_point submitted = Clock::now();
+          for (;;) {
+            serve::ExplanationResponse response = engine.submit(graph).get();
+            if (response.status == serve::ResponseStatus::QueueFull) {
+              // Backpressure: retry after a short pause; the rejection is
+              // counted so the report shows how hard the queue pushed back.
+              ++local.queue_full;
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+              continue;
+            }
+            if (response.status == serve::ResponseStatus::Ok) {
+              ++local.ok;
+            } else if (response.status ==
+                       serve::ResponseStatus::ExplainError) {
+              ++local.explain_error;
+            } else {
+              ++local.other;
+            }
+            local.latency.add(std::chrono::duration<double>(Clock::now() -
+                                                            submitted)
+                                  .count());
+            break;
+          }
+        }
+        if (!record) return;
+        std::lock_guard<std::mutex> lock(totals_mutex);
+        totals.ok += local.ok;
+        totals.queue_full += local.queue_full;
+        totals.explain_error += local.explain_error;
+        totals.other += local.other;
+        for (double sample : local.latency.samples()) {
+          totals.latency.add(sample);
+        }
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+  };
+
+  // Warm-up: one untimed round with the full concurrent mix primes the
+  // workspace pools (dispatcher + explainer workers) at load-shaped batch
+  // sizes, so the measured round shows the steady state.
+  run_round(/*record=*/false);
+
+  obs::Counter& ws_allocated =
+      obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+  const std::uint64_t ws_allocated_before = ws_allocated.value();
+
+  const Clock::time_point start = Clock::now();
+  run_round(/*record=*/true);
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  engine.stop();
+  const std::uint64_t ws_allocated_delta =
+      ws_allocated.value() - ws_allocated_before;
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "cfgx.bench.serve.v1");
+  json.field("binary", "serve_throughput");
+  json.key("config").begin_object();
+  json.field("clients", static_cast<std::uint64_t>(clients));
+  json.field("requests_per_client",
+             static_cast<std::uint64_t>(requests_per_client));
+  json.field("queue_capacity",
+             static_cast<std::uint64_t>(serve_config.queue_capacity));
+  json.field("max_batch", static_cast<std::uint64_t>(serve_config.max_batch));
+  json.field("explain_workers",
+             static_cast<std::uint64_t>(serve_config.explain_workers));
+  json.field("distinct_graphs", static_cast<std::uint64_t>(corpus.size()));
+  json.field("fast", fast);
+  json.end_object();
+
+  json.key("totals").begin_object();
+  json.field("ok", totals.ok);
+  json.field("queue_full_rejections", totals.queue_full);
+  json.field("explain_errors", totals.explain_error);
+  json.field("other", totals.other);
+  json.end_object();
+
+  json.field("wall_seconds", wall_seconds);
+  json.field("explanations_per_second",
+             wall_seconds > 0.0 ? static_cast<double>(totals.ok) / wall_seconds
+                                : 0.0);
+
+  json.key("latency").begin_object();
+  json.field("mean_s", totals.latency.mean());
+  json.field("p50_s", totals.latency.percentile(50.0));
+  json.field("p95_s", totals.latency.percentile(95.0));
+  json.field("p99_s", totals.latency.percentile(99.0));
+  json.field("stddev_s", totals.latency.stddev());
+  json.end_object();
+
+  // Steady-state property: after warm-up, serving performs no fresh
+  // workspace allocation (heterogeneous graph sizes may still grow pools
+  // on the first pass; the committed run should show 0 or near-0).
+  json.key("workspace").begin_object();
+  json.field("bytes_allocated_delta", ws_allocated_delta);
+  json.end_object();
+
+  // Engine-side view from the metrics registry (queue histograms etc.).
+  json.key("serve_metrics").begin_object();
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("serve.", 0) == 0) json.field(name, value);
+  }
+  for (const obs::HistogramStats& h : snapshot.histograms) {
+    if (h.name.rfind("serve.", 0) != 0) continue;
+    json.key(h.name).begin_object();
+    json.field("count", h.count);
+    json.field("mean", h.mean);
+    json.field("p50", h.p50);
+    json.field("p95", h.p95);
+    json.field("p99", h.p99);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "serve_throughput: cannot open " << out_path << "\n";
+    return 1;
+  }
+  file << json.str() << "\n";
+  std::cerr << "serve_throughput: " << totals.ok << " explanations in "
+            << wall_seconds << "s ("
+            << (wall_seconds > 0.0 ? totals.ok / wall_seconds : 0.0)
+            << "/s), p50 " << totals.latency.percentile(50.0) << "s, p95 "
+            << totals.latency.percentile(95.0) << "s, p99 "
+            << totals.latency.percentile(99.0) << "s; wrote " << out_path
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cfgx
+
+int main(int argc, char** argv) {
+  const cfgx::CliArgs args(argc, argv);
+  return cfgx::run(args);
+}

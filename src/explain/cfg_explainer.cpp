@@ -34,13 +34,16 @@ void CfgExplainer::fit(const Corpus& corpus,
 }
 
 void CfgExplainer::load_model_file(const std::string& path) {
-  ExplainerModel loaded = ExplainerModel::load_file(path);
-  if (loaded.config().embedding_dim != model_.config().embedding_dim ||
-      loaded.config().num_classes != model_.config().num_classes) {
+  set_model(ExplainerModel::load_file(path));
+}
+
+void CfgExplainer::set_model(ExplainerModel model) {
+  if (model.config().embedding_dim != model_.config().embedding_dim ||
+      model.config().num_classes != model_.config().num_classes) {
     throw std::invalid_argument(
-        "CfgExplainer::load_model_file: checkpoint does not match the GNN");
+        "CfgExplainer::set_model: model does not match the GNN");
   }
-  model_ = std::move(loaded);
+  model_ = std::move(model);
   fitted_ = true;
 }
 

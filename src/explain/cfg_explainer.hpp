@@ -37,6 +37,12 @@ class CfgExplainer : public Explainer {
   void save_model_file(const std::string& path) const { model_.save_file(path); }
   void load_model_file(const std::string& path);  // marks the explainer fitted
 
+  // In-memory counterpart of load_model_file: adopts an already-trained
+  // Theta and marks the explainer fitted. The serving engine's per-worker
+  // explainer factories clone one trained model this way instead of
+  // re-reading a checkpoint per worker. Validates dims against the GNN.
+  void set_model(ExplainerModel model);
+
   // Full Algorithm-2 output (subgraph node sets / adjacencies) for callers
   // that need more than the ranking (Table V qualitative analysis).
   Interpretation interpret(const Acfg& graph) const;

@@ -2,23 +2,36 @@
 
 #include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 #include <thread>
+#include <unordered_map>
 
 namespace cfgx {
 
-std::vector<NodeRanking> explain_batch(const std::vector<const Acfg*>& graphs,
-                                       ThreadPool& pool,
-                                       const ExplainerFactory& factory) {
+std::string ExplainOutcome::error_message() const {
+  if (error == nullptr) return "";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+std::vector<ExplainOutcome> explain_batch_outcomes(
+    const std::vector<const Acfg*>& graphs, ThreadPool& pool,
+    const ExplainerFactory& factory) {
   for (const Acfg* graph : graphs) {
     if (graph == nullptr) {
       throw std::invalid_argument("explain_batch: null graph pointer");
     }
   }
 
-  std::vector<NodeRanking> rankings(graphs.size());
+  std::vector<ExplainOutcome> outcomes(graphs.size());
 
-  // One lazily-created explainer per worker thread.
+  // One lazily-created explainer per worker thread. A throwing factory is
+  // retried on the worker's next graph (its failure is recorded per graph,
+  // not cached), which also covers transient construction failures.
   std::mutex registry_mutex;
   std::unordered_map<std::thread::id, std::unique_ptr<Explainer>> registry;
   const auto explainer_for_this_thread = [&]() -> Explainer& {
@@ -36,9 +49,31 @@ std::vector<NodeRanking> explain_batch(const std::vector<const Acfg*>& graphs,
     return *registry.emplace(id, std::move(fresh)).first->second;
   };
 
+  // The catch INSIDE the task body is the failure-isolation point: no
+  // exception crosses the packaged_task boundary, so parallel_for drains
+  // every future normally and the pool stays reusable afterwards.
   pool.parallel_for(graphs.size(), [&](std::size_t i) {
-    rankings[i] = explainer_for_this_thread().explain(*graphs[i]);
+    try {
+      outcomes[i].ranking = explainer_for_this_thread().explain(*graphs[i]);
+    } catch (...) {
+      outcomes[i].error = std::current_exception();
+    }
   });
+  return outcomes;
+}
+
+std::vector<NodeRanking> explain_batch(const std::vector<const Acfg*>& graphs,
+                                       ThreadPool& pool,
+                                       const ExplainerFactory& factory) {
+  std::vector<ExplainOutcome> outcomes =
+      explain_batch_outcomes(graphs, pool, factory);
+  for (const ExplainOutcome& outcome : outcomes) {
+    if (!outcome.ok()) std::rethrow_exception(outcome.error);
+  }
+  std::vector<NodeRanking> rankings(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    rankings[i] = std::move(outcomes[i].ranking);
+  }
   return rankings;
 }
 

@@ -14,10 +14,22 @@
 // The GNN handed to the factory may carry a kernel pool (even this same
 // pool): a reentrant parallel_for from a worker runs inline, so the sparse
 // kernels inside each explanation never deadlock the batch.
+//
+// Failure isolation (the long-running-process contract): one graph's
+// explainer throwing must not cost the rest of the batch their results,
+// and must leave the pool reusable. explain_batch_outcomes catches every
+// per-graph exception inside the worker chunk — no exception ever crosses
+// a pool task boundary, every future parallel_for waits on is drained
+// normally, and each graph comes back with either its ranking or its own
+// typed error. explain_batch is a thin wrapper that rethrows the first
+// (by input order) captured error for callers that want the old all-or-
+// nothing contract.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "explain/explainer_api.hpp"
@@ -27,9 +39,31 @@ namespace cfgx {
 
 using ExplainerFactory = std::function<std::unique_ptr<Explainer>()>;
 
-// Explains every graph; rankings[i] corresponds to graphs[i]. Worker count
-// is the pool's; each worker constructs at most one explainer. Exceptions
-// from factories or explainers propagate to the caller.
+// Per-graph result: exactly one of `ranking` (on success) or `error` (the
+// exception the graph's factory/explainer threw) is meaningful.
+struct ExplainOutcome {
+  NodeRanking ranking;
+  std::exception_ptr error;  // null on success
+
+  bool ok() const noexcept { return error == nullptr; }
+  // what() of the captured exception ("" on success, a fallback string for
+  // non-std::exception throwables).
+  std::string error_message() const;
+};
+
+// Explains every graph; outcomes[i] corresponds to graphs[i]. Worker count
+// is the pool's; each worker constructs at most one explainer. Per-graph
+// failures (factory or explainer throwing) are captured in the outcome —
+// this function itself only throws on invalid input (a null graph
+// pointer).
+std::vector<ExplainOutcome> explain_batch_outcomes(
+    const std::vector<const Acfg*>& graphs, ThreadPool& pool,
+    const ExplainerFactory& factory);
+
+// All-or-nothing wrapper: rankings[i] corresponds to graphs[i]; the first
+// captured per-graph error (in input order) is rethrown with its original
+// type. Every graph is still attempted first, so the pool is drained and
+// reusable even on failure.
 std::vector<NodeRanking> explain_batch(
     const std::vector<const Acfg*>& graphs, ThreadPool& pool,
     const ExplainerFactory& factory);

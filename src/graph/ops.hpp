@@ -113,6 +113,30 @@ class MaskedNormalizedAdjacency {
 // inactive. The classifier's readout pools over this count.
 std::size_t count_active_nodes(const Matrix& adjacency, const Matrix& features);
 
+// Batched normalized inputs for K graphs, ready for one shared forward
+// pass: the per-graph normalized adjacencies concatenated block-diagonally
+// (BatchedCsr), the RAW feature rows stacked in the same row order, the
+// d^{-1/2} factors concatenated, and the per-graph active-node counts for
+// the readout. embed_into over (a_hat.matrix(), inv_sqrt_degree, features)
+// computes all K graphs' embeddings at once, bit-identically to K separate
+// calls (see the bit-identity argument on BatchedCsr); slicing row range
+// a_hat.range(k) out of the result recovers graph k's embeddings exactly.
+struct GraphBatch {
+  BatchedCsr a_hat;
+  Matrix features;                         // (sum N_k) x feature_count, raw
+  std::vector<double> inv_sqrt_degree;     // size sum N_k; 0 for inactive
+  std::vector<std::size_t> active_counts;  // per graph, for class_logits
+
+  std::size_t num_graphs() const noexcept { return a_hat.num_blocks(); }
+  const BatchedCsr::Range& range(std::size_t k) const { return a_hat.range(k); }
+};
+
+// Builds a GraphBatch from K graphs (normalizes each adjacency with the
+// feature-aware self-loop policy). Graphs must share a feature_count;
+// throws std::invalid_argument on a mismatch or a null pointer. K = 0
+// yields an empty batch.
+GraphBatch batch_normalized_graphs(const std::vector<const Acfg*>& graphs);
+
 // Zeroes row + column `node` of the adjacency and the node's feature row
 // (Algorithm 2 lines 17-18, plus the feature zeroing of DESIGN decision 3).
 void mask_node(Matrix& adjacency, Matrix& features, std::uint32_t node);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -149,6 +150,60 @@ double CsrMatrix::density() const noexcept {
   const std::size_t total = rows_ * cols_;
   return total == 0 ? 0.0
                     : static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+BatchedCsr BatchedCsr::concat(const std::vector<const CsrMatrix*>& blocks) {
+  std::size_t total_rows = 0;
+  std::size_t total_cols = 0;
+  std::size_t total_nnz = 0;
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    if (blocks[k] == nullptr) {
+      throw std::invalid_argument("BatchedCsr::concat: null block at index " +
+                                  std::to_string(k));
+    }
+    total_rows += blocks[k]->rows();
+    total_cols += blocks[k]->cols();
+    total_nnz += blocks[k]->nnz();
+  }
+  if (total_cols > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "BatchedCsr::concat: total column count " + std::to_string(total_cols) +
+        " overflows the 32-bit CSR column index");
+  }
+
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(total_rows + 1);
+  col_idx.reserve(total_nnz);
+  values.reserve(total_nnz);
+  row_ptr.push_back(0);
+
+  BatchedCsr batched;
+  batched.ranges_.reserve(blocks.size());
+  std::size_t row_base = 0;
+  std::size_t col_base = 0;
+  std::size_t nnz_base = 0;
+  for (const CsrMatrix* block : blocks) {
+    // Rows keep their block's entries verbatim: same order, same values.
+    // Only the column indices shift, by the running column offset.
+    for (std::size_t r = 0; r < block->rows(); ++r) {
+      row_ptr.push_back(nnz_base + block->row_ptr()[r + 1]);
+    }
+    for (std::uint32_t c : block->col_idx()) {
+      col_idx.push_back(static_cast<std::uint32_t>(col_base + c));
+    }
+    values.insert(values.end(), block->values().begin(),
+                  block->values().end());
+    batched.ranges_.push_back(Range{row_base, row_base + block->rows()});
+    row_base += block->rows();
+    col_base += block->cols();
+    nnz_base += block->nnz();
+  }
+
+  batched.matrix_ = CsrMatrix(total_rows, total_cols, std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+  return batched;
 }
 
 void spmm_into(const CsrMatrix& a, const Matrix& b, Matrix& out,

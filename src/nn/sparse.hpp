@@ -72,6 +72,44 @@ class CsrMatrix {
   std::vector<double> values_;           // size nnz
 };
 
+// Block-diagonal concatenation of CSR matrices with per-block row ranges:
+// the batching primitive shared by the explanation-serving engine and
+// (future) minibatched training. K graphs' normalized adjacencies become
+// ONE CSR of shape (sum rows_k) x (sum cols_k); one spmm over it performs
+// all K per-graph propagations at once, and it is BIT-identical to the K
+// separate spmm calls: each batched row holds exactly its block's entries
+// in the same order with the same values (column indices shift by the
+// block offset, and the dense operand's rows shift by the same amount), so
+// every per-row accumulation is the same sequence of IEEE additions.
+//
+// Row ranges let callers slice per-graph results back out of stacked
+// outputs: rows [range(k).begin, range(k).end) of any row-aligned matrix
+// (stacked features, embeddings) belong to block k.
+class BatchedCsr {
+ public:
+  struct Range {
+    std::size_t begin = 0;  // first row of this block
+    std::size_t end = 0;    // one past the last row
+    std::size_t size() const noexcept { return end - begin; }
+  };
+
+  BatchedCsr() = default;
+
+  // Block-diagonal concat; blocks may be ragged (any shapes, including
+  // empty). Throws std::invalid_argument on a null pointer or when the
+  // total column count overflows the 32-bit CSR column index.
+  static BatchedCsr concat(const std::vector<const CsrMatrix*>& blocks);
+
+  const CsrMatrix& matrix() const noexcept { return matrix_; }
+  std::size_t num_blocks() const noexcept { return ranges_.size(); }
+  const Range& range(std::size_t block) const { return ranges_.at(block); }
+  const std::vector<Range>& ranges() const noexcept { return ranges_; }
+
+ private:
+  CsrMatrix matrix_;
+  std::vector<Range> ranges_;
+};
+
 // C = A * B with A in CSR form. Throws std::invalid_argument on
 // inner-dimension mismatch. With a pool, rows of C are computed in
 // worker_count chunks (deterministic; see header comment).

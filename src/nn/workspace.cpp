@@ -5,6 +5,22 @@
 #include "obs/metrics.hpp"
 
 namespace cfgx {
+namespace {
+
+// Cross-thread aggregate of parked pool bytes. Updated by deltas
+// (Gauge::add is a relaxed fetch_add), so concurrent thread-local pools
+// sum coherently.
+obs::Gauge& retained_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("workspace.bytes_retained");
+  return gauge;
+}
+
+double capacity_bytes(const Matrix& buffer) {
+  return static_cast<double>(buffer.capacity() * sizeof(double));
+}
+
+}  // namespace
 
 Workspace& Workspace::local() {
   thread_local Workspace workspace;
@@ -13,7 +29,7 @@ Workspace& Workspace::local() {
 
 void Workspace::Lease::release() {
   if (workspace_ != nullptr) {
-    workspace_->release_buffer(std::move(buffer_));
+    workspace_->release_buffer(std::move(buffer_), stamp_);
     workspace_ = nullptr;
   }
 }
@@ -24,39 +40,70 @@ Workspace::Lease Workspace::acquire(std::size_t rows, std::size_t cols) {
   static obs::Counter& bytes_allocated =
       obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
 
+  ++acquisitions_;
+  trim_stale();
+
   const std::size_t needed = rows * cols;
   // Best fit: the smallest pooled buffer that already holds `needed`
   // doubles, so a small scratch does not burn a big buffer's capacity.
   std::size_t best = pool_.size();
   std::size_t best_capacity = std::numeric_limits<std::size_t>::max();
   for (std::size_t i = 0; i < pool_.size(); ++i) {
-    const std::size_t capacity = pool_[i].capacity();
+    const std::size_t capacity = pool_[i].buffer.capacity();
     if (capacity >= needed && capacity < best_capacity) {
       best = i;
       best_capacity = capacity;
     }
   }
   if (best < pool_.size()) {
-    Matrix buffer = std::move(pool_[best]);
+    Matrix buffer = std::move(pool_[best].buffer);
+    const std::uint64_t stamp = pool_[best].last_right_sized;
     pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+    retained_gauge().add(-capacity_bytes(buffer));
     buffer.reshape(rows, cols);  // capacity suffices: zero-fill, no alloc
     bytes_reused.add(needed * sizeof(double));
-    return Lease(this, std::move(buffer));
+    return Lease(this, std::move(buffer), stamp);
   }
   bytes_allocated.add(needed * sizeof(double));
-  return Lease(this, Matrix(rows, cols));
+  // A fresh buffer starts right-sized by construction.
+  return Lease(this, Matrix(rows, cols), acquisitions_);
 }
 
-void Workspace::release_buffer(Matrix buffer) {
+void Workspace::release_buffer(Matrix buffer, std::uint64_t stamp) {
   // Keep even zero-capacity buffers out of the pool: they can never serve
   // a request and would only slow the scan down.
   if (buffer.capacity() == 0) return;
-  pool_.push_back(std::move(buffer));
+  // Right-sized use refreshes the age; a borrowed oversized use (final
+  // contents under half the capacity) keeps the stale stamp so the buffer
+  // still ages out. `_into` kernels may have reshaped the buffer, so judge
+  // by its final size, not the acquire() request.
+  if (buffer.size() * 2 >= buffer.capacity()) stamp = acquisitions_;
+  retained_gauge().add(capacity_bytes(buffer));
+  pool_.push_back(PooledBuffer{std::move(buffer), stamp});
+}
+
+void Workspace::trim_stale() {
+  if (trim_after_ == 0) return;
+  for (std::size_t i = 0; i < pool_.size();) {
+    if (acquisitions_ - pool_[i].last_right_sized > trim_after_) {
+      retained_gauge().add(-capacity_bytes(pool_[i].buffer));
+      pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Workspace::clear() {
+  for (const PooledBuffer& pooled : pool_) {
+    retained_gauge().add(-capacity_bytes(pooled.buffer));
+  }
+  pool_.clear();
 }
 
 std::size_t Workspace::pooled_capacity() const noexcept {
   std::size_t total = 0;
-  for (const Matrix& m : pool_) total += m.capacity();
+  for (const PooledBuffer& pooled : pool_) total += pooled.buffer.capacity();
   return total;
 }
 

@@ -21,10 +21,25 @@
 // Observability: `workspace.bytes_reused` counts bytes served from pooled
 // capacity; `workspace.bytes_allocated` counts bytes that needed fresh heap.
 // After warm-up the allocated counter must stay flat — the property the
-// steady-state determinism tests pin down.
+// steady-state determinism tests pin down. `workspace.bytes_retained` is a
+// gauge tracking the heap bytes currently parked in pools across all
+// threads (delta-updated, so concurrent pools sum coherently).
+//
+// Retention policy: a long-running process (the serve engine) sees graphs
+// of many sizes on one thread, and a pool that keeps the largest buffer it
+// ever handed out per shape would grow without bound across heterogeneous
+// traffic. acquire() therefore ages the pool: a pooled buffer that has not
+// been *right-sized* for any lease in `trim_after()` consecutive
+// acquisitions is released back to the heap. A lease is right-sized when
+// the buffer's final contents fill at least half its capacity — best-fit
+// lets a giant buffer left over from a one-off graph keep serving tiny
+// requests, and such borrowed uses must not pin its capacity forever.
+// Buffers in steady same-shape reuse refresh their age on every lease, so
+// the zero-allocation steady state on homogeneous traffic is unaffected.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -44,11 +59,13 @@ class Workspace {
   // destruction. Movable so helpers can hand leases to callers.
   class Lease {
    public:
-    Lease(Workspace* workspace, Matrix buffer)
-        : workspace_(workspace), buffer_(std::move(buffer)) {}
+    Lease(Workspace* workspace, Matrix buffer, std::uint64_t stamp = 0)
+        : workspace_(workspace), buffer_(std::move(buffer)), stamp_(stamp) {}
 
     Lease(Lease&& other) noexcept
-        : workspace_(other.workspace_), buffer_(std::move(other.buffer_)) {
+        : workspace_(other.workspace_),
+          buffer_(std::move(other.buffer_)),
+          stamp_(other.stamp_) {
       other.workspace_ = nullptr;
     }
     Lease& operator=(Lease&& other) noexcept {
@@ -56,6 +73,7 @@ class Workspace {
         release();
         workspace_ = other.workspace_;
         buffer_ = std::move(other.buffer_);
+        stamp_ = other.stamp_;
         other.workspace_ = nullptr;
       }
       return *this;
@@ -75,27 +93,59 @@ class Workspace {
 
     Workspace* workspace_;
     Matrix buffer_;
+    // The buffer's last right-sized acquisition stamp at lease time;
+    // carried through so a poor-fit (borrowed oversized) use returns the
+    // buffer with its age intact. See the retention policy above.
+    std::uint64_t stamp_ = 0;
   };
 
   // A zero-filled rows x cols scratch buffer. Served from the smallest
   // pooled buffer with sufficient capacity when one exists (counted as
   // reused bytes); otherwise fresh storage is allocated (counted as
-  // allocated bytes).
+  // allocated bytes). Also ages the pool (see retention policy above).
   Lease acquire(std::size_t rows, std::size_t cols);
 
   // Buffers currently sitting in the pool (not leased out).
   std::size_t pooled_count() const noexcept { return pool_.size(); }
   // Total capacity (in doubles) of pooled buffers.
   std::size_t pooled_capacity() const noexcept;
+  // Heap bytes currently parked in THIS pool (capacity * sizeof(double));
+  // the cross-thread aggregate lives in the `workspace.bytes_retained`
+  // gauge.
+  std::size_t bytes_retained() const noexcept {
+    return pooled_capacity() * sizeof(double);
+  }
+
+  // High-water-mark trim policy: a pooled buffer unused for this many
+  // acquisitions is dropped. 0 disables trimming (the pre-serve behaviour:
+  // the pool only grows). The default is far above the ~10^2 leases one
+  // explanation takes, so a buffer in every-call reuse is never churned,
+  // while a one-off giant graph's buffer is released within a few dozen
+  // serving batches.
+  static constexpr std::uint64_t kDefaultTrimAfter = 4096;
+  void set_trim_after(std::uint64_t acquisitions) noexcept {
+    trim_after_ = acquisitions;
+  }
+  std::uint64_t trim_after() const noexcept { return trim_after_; }
 
   // Drops every pooled buffer (tests; trimming after a huge one-off graph).
-  void clear() { pool_.clear(); }
+  void clear();
 
  private:
   friend class Lease;
-  void release_buffer(Matrix buffer);
+  void release_buffer(Matrix buffer, std::uint64_t stamp);
+  void trim_stale();
 
-  std::vector<Matrix> pool_;
+  struct PooledBuffer {
+    Matrix buffer;
+    // Acquisition count of the last lease whose final contents filled at
+    // least half the buffer's capacity.
+    std::uint64_t last_right_sized = 0;
+  };
+
+  std::vector<PooledBuffer> pool_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t trim_after_ = kDefaultTrimAfter;
 };
 
 }  // namespace cfgx

@@ -108,8 +108,13 @@ class Histogram {
 
   // q in [0, 1]; returns a representative value from the bucket containing
   // the rank-q sample, clamped to the observed [min, max]; q of exactly 0
-  // or 1 returns the exact observed min/max. 0 when empty. Throws
-  // std::invalid_argument outside [0, 1].
+  // or 1 returns the exact observed min/max. An EMPTY histogram returns
+  // 0.0 for every q — never a throw and never a read of the (empty) bucket
+  // array, so reporting paths in a long-running process can snapshot idle
+  // histograms unconditionally (DurationStats::percentile matches). With a
+  // single sample (or all samples in one bucket) the min/max clamp makes
+  // every quantile the exact observed value. Throws std::invalid_argument
+  // outside [0, 1].
   double quantile(double q) const;
 
   // Inclusive lower edge of bucket `index` (index < kBucketCount).

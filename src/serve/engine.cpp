@@ -1,0 +1,326 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "explain/cfg_explainer.hpp"
+#include "graph/ops.hpp"
+#include "nn/loss.hpp"
+#include "nn/sparse.hpp"
+#include "nn/workspace.hpp"
+#include "obs/metrics.hpp"
+
+namespace cfgx::serve {
+namespace {
+
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("serve.request_latency_seconds");
+  return h;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("serve.queue_depth");
+  return g;
+}
+
+obs::Counter& status_counter(ResponseStatus status) {
+  static obs::Counter& ok =
+      obs::MetricsRegistry::global().counter("serve.requests_served");
+  static obs::Counter& full =
+      obs::MetricsRegistry::global().counter("serve.rejected_queue_full");
+  static obs::Counter& deadline =
+      obs::MetricsRegistry::global().counter("serve.deadline_exceeded");
+  static obs::Counter& failed =
+      obs::MetricsRegistry::global().counter("serve.explain_errors");
+  static obs::Counter& stopped =
+      obs::MetricsRegistry::global().counter("serve.stopped");
+  switch (status) {
+    case ResponseStatus::Ok: return ok;
+    case ResponseStatus::QueueFull: return full;
+    case ResponseStatus::DeadlineExceeded: return deadline;
+    case ResponseStatus::ExplainError: return failed;
+    case ResponseStatus::EngineStopped: break;
+  }
+  return stopped;
+}
+
+ExplanationResponse status_response(ResponseStatus status) {
+  ExplanationResponse response;
+  response.status = status;
+  return response;
+}
+
+}  // namespace
+
+const char* to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::Ok: return "ok";
+    case ResponseStatus::QueueFull: return "queue_full";
+    case ResponseStatus::DeadlineExceeded: return "deadline_exceeded";
+    case ResponseStatus::ExplainError: return "explain_error";
+    case ResponseStatus::EngineStopped: return "engine_stopped";
+  }
+  return "unknown";
+}
+
+ExplanationEngine::ExplanationEngine(const GnnClassifier& gnn,
+                                     ExplainerFactory factory,
+                                     ServeConfig config)
+    : gnn_(&gnn),
+      factory_(std::move(factory)),
+      config_(config),
+      explain_pool_(config.explain_workers) {
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("ExplanationEngine: queue_capacity must be > 0");
+  }
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("ExplanationEngine: max_batch must be > 0");
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ExplanationEngine::~ExplanationEngine() { stop(); }
+
+std::future<ExplanationResponse> ExplanationEngine::submit(
+    Acfg graph, Clock::time_point deadline) {
+  if (graph.num_nodes() == 0) {
+    throw std::invalid_argument("ExplanationEngine::submit: empty graph");
+  }
+  if (graph.feature_count() != gnn_->config().feature_dim) {
+    throw std::invalid_argument(
+        "ExplanationEngine::submit: feature_count does not match the GNN");
+  }
+
+  Request request;
+  request.graph = std::move(graph);
+  request.deadline = deadline;
+  request.enqueued = Clock::now();
+  std::future<ExplanationResponse> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      finish(request, status_response(ResponseStatus::EngineStopped));
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      // Admission control: reject NOW rather than buffer without bound.
+      finish(request, status_response(ResponseStatus::QueueFull));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::size_t ExplanationEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ExplanationEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Separate mutex so concurrent stop() calls serialize on the join
+  // without holding the queue lock the dispatcher needs to drain.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ExplanationEngine::finish(Request& request, ExplanationResponse response) {
+  status_counter(response.status).add();
+  latency_histogram().record(
+      std::chrono::duration<double>(Clock::now() - request.enqueued).count());
+  request.promise.set_value(std::move(response));
+}
+
+void ExplanationEngine::dispatcher_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) break;
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    }
+    serve_batch(batch);
+  }
+
+  // Drain: every request still queued at stop() gets a typed response.
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+    queue_depth_gauge().set(0.0);
+  }
+  for (Request& request : leftover) {
+    finish(request, status_response(ResponseStatus::EngineStopped));
+  }
+}
+
+void ExplanationEngine::serve_batch(std::vector<Request>& batch) {
+  static obs::Histogram& batch_size_h =
+      obs::MetricsRegistry::global().histogram("serve.batch_size");
+  static obs::Histogram& prepare_h =
+      obs::MetricsRegistry::global().histogram("serve.batch_prepare_seconds");
+  static obs::Histogram& execute_h =
+      obs::MetricsRegistry::global().histogram("serve.batch_execute_seconds");
+  batch_size_h.record(static_cast<double>(batch.size()));
+
+  // Stage boundary 1 (dequeue): an already-expired request gets no work.
+  std::vector<std::size_t> live;
+  {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline < now) {
+        finish(batch[i], status_response(ResponseStatus::DeadlineExceeded));
+      } else {
+        live.push_back(i);
+      }
+    }
+  }
+  if (live.empty()) return;
+
+  // --- prepare: normalize + freeze each graph's CSR, lease scratch ---
+  Workspace& workspace = Workspace::local();
+  std::vector<MaskedNormalizedAdjacency> frozen;
+  std::vector<std::size_t> active_counts;
+  std::vector<const CsrMatrix*> blocks;
+  std::size_t total_nodes = 0;
+  Workspace::Lease features = [&] {
+    obs::ScopedDurationTimer timer(prepare_h);
+    frozen.reserve(live.size());
+    active_counts.reserve(live.size());
+    blocks.reserve(live.size());
+    for (std::size_t i : live) {
+      const Acfg& graph = batch[i].graph;
+      frozen.emplace_back(graph.dense_adjacency(), graph.features());
+      std::size_t active = 0;
+      for (double v : frozen.back().inv_sqrt_degree()) {
+        if (v != 0.0) ++active;
+      }
+      active_counts.push_back(active);
+      blocks.push_back(&frozen.back().a_hat());
+      total_nodes += graph.num_nodes();
+    }
+    Workspace::Lease stacked =
+        workspace.acquire(total_nodes, gnn_->config().feature_dim);
+    std::size_t row_base = 0;
+    for (std::size_t i : live) {
+      const Matrix& graph_features = batch[i].graph.features();
+      for (std::size_t r = 0; r < graph_features.rows(); ++r) {
+        for (std::size_t c = 0; c < graph_features.cols(); ++c) {
+          stacked.get()(row_base + r, c) = graph_features(r, c);
+        }
+      }
+      row_base += graph_features.rows();
+    }
+    return stacked;
+  }();
+
+  const BatchedCsr batched = BatchedCsr::concat(blocks);
+  std::vector<double> inv_sqrt;
+  inv_sqrt.reserve(total_nodes);
+  for (const MaskedNormalizedAdjacency& f : frozen) {
+    inv_sqrt.insert(inv_sqrt.end(), f.inv_sqrt_degree().begin(),
+                    f.inv_sqrt_degree().end());
+  }
+
+  // --- execute: ONE forward pass for the whole batch ---
+  std::vector<Prediction> predictions(live.size());
+  {
+    obs::ScopedDurationTimer timer(execute_h);
+    Workspace::Lease embeddings =
+        workspace.acquire(total_nodes, gnn_->config().embedding_dim());
+    gnn_->embed_into(batched.matrix(), inv_sqrt, features.get(),
+                     embeddings.get());
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const BatchedCsr::Range& range = batched.range(k);
+      Workspace::Lease slice =
+          workspace.acquire(range.size(), gnn_->config().embedding_dim());
+      for (std::size_t r = 0; r < range.size(); ++r) {
+        for (std::size_t c = 0; c < gnn_->config().embedding_dim(); ++c) {
+          slice.get()(r, c) = embeddings.get()(range.begin + r, c);
+        }
+      }
+      predictions[k].probabilities =
+          softmax_rows(gnn_->class_logits(slice.get(), active_counts[k]));
+      predictions[k].predicted_class =
+          argmax_rows(predictions[k].probabilities)[0];
+    }
+  }
+
+  // Stage boundary 2 (pre-explain): classification is done, but the
+  // expensive Algorithm-2 pass is not started for expired requests.
+  std::vector<std::size_t> to_explain;  // indices into `live`
+  {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      if (batch[live[k]].deadline < now) {
+        finish(batch[live[k]],
+               status_response(ResponseStatus::DeadlineExceeded));
+      } else {
+        to_explain.push_back(k);
+      }
+    }
+  }
+  if (to_explain.empty()) return;
+
+  std::vector<const Acfg*> graphs;
+  graphs.reserve(to_explain.size());
+  for (std::size_t k : to_explain) graphs.push_back(&batch[live[k]].graph);
+  const std::vector<ExplainOutcome> outcomes =
+      explain_batch_outcomes(graphs, explain_pool_, factory_);
+
+  // Stage boundary 3 (completion): a response that misses its deadline is
+  // DeadlineExceeded even though the work finished — usefulness, not
+  // effort, is the contract.
+  const Clock::time_point now = Clock::now();
+  for (std::size_t j = 0; j < to_explain.size(); ++j) {
+    const std::size_t k = to_explain[j];
+    Request& request = batch[live[k]];
+    ExplanationResponse response;
+    if (request.deadline < now) {
+      response.status = ResponseStatus::DeadlineExceeded;
+    } else if (outcomes[j].ok()) {
+      response.status = ResponseStatus::Ok;
+      response.prediction = predictions[k];
+      response.ranking = outcomes[j].ranking;
+    } else {
+      response.status = ResponseStatus::ExplainError;
+      response.prediction = predictions[k];
+      response.error = outcomes[j].error_message();
+    }
+    finish(request, std::move(response));
+  }
+}
+
+ExplainerFactory make_cfg_explainer_factory(const GnnClassifier& gnn,
+                                            ExplainerModel theta) {
+  // std::function requires a copyable callable, so the move-only model
+  // lives behind a shared_ptr; every factory call deep-copies it.
+  auto shared = std::make_shared<ExplainerModel>(std::move(theta));
+  return [&gnn, shared] {
+    auto explainer = std::make_unique<CfgExplainer>(gnn);
+    explainer->set_model(shared->clone());
+    return explainer;
+  };
+}
+
+}  // namespace cfgx::serve
+

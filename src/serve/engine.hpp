@@ -1,0 +1,162 @@
+// Long-running explanation-serving engine.
+//
+// One-shot benches build a graph, explain it, and exit; the ROADMAP
+// north-star is a process that stays up and serves explanation requests
+// continuously. ExplanationEngine accepts a stream of CFGs, packs admitted
+// requests into batches — ONE block-diagonal CSR (BatchedCsr) + stacked
+// feature matrix per batch — runs the classifier forward pass once for the
+// whole batch, fans the explainers out over a thread pool, and completes
+// each request's future with its own result or its own typed error.
+//
+// Prepare / execute split (after the popart session model): admission and
+// preparation are separated from execution so the expensive work happens
+// exactly once per request and on the dispatcher's schedule, not the
+// caller's.
+//   * prepare: per request, the adjacency is normalized ONCE and frozen as
+//     a CSR (MaskedNormalizedAdjacency — the same frozen-structure form
+//     the Algorithm-2 interpreter prunes in place), its d^{-1/2} vector
+//     and active-node count captured. Scratch (stacked features, batched
+//     embeddings, per-graph slices) is leased from the dispatcher thread's
+//     Workspace, so a warmed-up engine performs no fresh workspace
+//     allocation (steady-state `workspace.bytes_allocated` stays flat).
+//   * execute: one embed_into over the batched CSR (bit-identical to
+//     per-graph inference — see BatchedCsr), per-graph readout on row
+//     slices, then explain_batch_outcomes for the rankings.
+//
+// Backpressure: the request queue is bounded (ServeConfig::queue_capacity).
+// submit() never blocks — a request that would overflow the queue is
+// rejected immediately with QueueFull, pushing flow control to the caller
+// (retry, shed, or route elsewhere) instead of hiding an unbounded buffer
+// inside the engine.
+//
+// Deadlines: each request carries an absolute deadline. The engine checks
+// it at every stage boundary (dequeue, pre-explain, completion) and stops
+// investing in an expired request at the first check that fails, completing
+// its future with DeadlineExceeded — a typed response, never an exception
+// or a crash. A request that expires after its work happened to finish
+// still reports DeadlineExceeded: the contract is about response
+// usefulness, not effort spent.
+//
+// Thread-safety: submit(), queue_depth() and stop() may be called from any
+// thread. Exactly one dispatcher thread runs batches; explainers run on the
+// engine's own pool via explain_batch_outcomes (one graph's explainer
+// throwing costs only that request, as ExplainError).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/explainer_model.hpp"
+#include "explain/parallel.hpp"
+#include "gnn/classifier.hpp"
+#include "graph/acfg.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cfgx::serve {
+
+enum class ResponseStatus : std::uint8_t {
+  Ok = 0,
+  QueueFull,          // rejected at admission (backpressure)
+  DeadlineExceeded,   // deadline passed at a stage boundary
+  ExplainError,       // the explainer threw for this graph; see `error`
+  EngineStopped,      // engine stopped before this request executed
+};
+
+const char* to_string(ResponseStatus status) noexcept;
+
+struct ServeConfig {
+  // Requests waiting to execute; one more submit is rejected QueueFull.
+  std::size_t queue_capacity = 64;
+  // Max graphs packed into one batched forward pass.
+  std::size_t max_batch = 8;
+  // Workers for the explainer fan-out (0 = hardware concurrency).
+  std::size_t explain_workers = 0;
+};
+
+struct ExplanationResponse {
+  ResponseStatus status = ResponseStatus::EngineStopped;
+  // Batched-inference classification; valid on Ok and ExplainError (the
+  // forward pass ran even when the explainer failed).
+  Prediction prediction;
+  // Valid on Ok only.
+  NodeRanking ranking;
+  // what() of the explainer's exception on ExplainError; empty otherwise.
+  std::string error;
+
+  bool ok() const noexcept { return status == ResponseStatus::Ok; }
+};
+
+class ExplanationEngine {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // `gnn` is borrowed and must outlive the engine. `factory` constructs an
+  // explainer per pool worker per batch (see explain_batch_outcomes); it
+  // must be callable concurrently from multiple threads.
+  ExplanationEngine(const GnnClassifier& gnn, ExplainerFactory factory,
+                    ServeConfig config = {});
+  ~ExplanationEngine();  // stop()
+
+  ExplanationEngine(const ExplanationEngine&) = delete;
+  ExplanationEngine& operator=(const ExplanationEngine&) = delete;
+
+  // Admits `graph` (taken by value: the request owns its payload) and
+  // returns a future for its response. Never blocks: when the queue is at
+  // capacity (QueueFull) or the engine is stopped (EngineStopped), the
+  // returned future is already completed with that status. Throws
+  // std::invalid_argument for a graph the borrowed GNN cannot classify
+  // (zero nodes, or feature_count != the GNN's feature_dim) — caller bug,
+  // not a runtime condition.
+  std::future<ExplanationResponse> submit(
+      Acfg graph, Clock::time_point deadline = Clock::time_point::max());
+
+  // Requests admitted but not yet picked up by the dispatcher.
+  std::size_t queue_depth() const;
+
+  // Stops the dispatcher; every queued request completes with
+  // EngineStopped. Idempotent; called by the destructor.
+  void stop();
+
+  const ServeConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Request {
+    Acfg graph;
+    Clock::time_point deadline;
+    Clock::time_point enqueued;
+    std::promise<ExplanationResponse> promise;
+  };
+
+  void dispatcher_loop();
+  void serve_batch(std::vector<Request>& batch);
+  void finish(Request& request, ExplanationResponse response);
+
+  const GnnClassifier* gnn_;
+  ExplainerFactory factory_;
+  ServeConfig config_;
+  ThreadPool explain_pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::mutex join_mutex_;  // serializes concurrent stop() joins
+  std::thread dispatcher_;
+};
+
+// Convenience factory for the common backend: CFGExplainer instances all
+// serving one trained Theta. Each instance gets its own deep copy of the
+// model (explainer state is per-call mutable), so the factory is safe to
+// invoke concurrently from the engine's pool workers.
+ExplainerFactory make_cfg_explainer_factory(const GnnClassifier& gnn,
+                                            ExplainerModel theta);
+
+}  // namespace cfgx::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -84,6 +85,9 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit after shutdown began");
+    }
     queue_.push(std::move(queued));
     depth = queue_.size();
   }

@@ -39,6 +39,10 @@ class ThreadPool {
   bool in_worker_thread() const;
 
   // Enqueue a task; the returned future rethrows any task exception.
+  // Throws std::logic_error once shutdown has begun: a task enqueued after
+  // the workers were told to drain could be popped by no one, leaving its
+  // future waiting forever — a latent hang in any long-running process
+  // that races submission against teardown.
   std::future<void> submit(std::function<void()> task);
 
   // Runs fn(i) for i in [0, count), blocking until all complete. Indices

@@ -20,9 +20,9 @@ double DurationStats::percentile(double p) const {
   if (!(p >= 0.0 && p <= 100.0)) {  // rejects NaN too
     throw std::invalid_argument("DurationStats::percentile: p outside [0, 100]");
   }
-  if (samples_.empty()) {
-    throw std::logic_error("DurationStats::percentile: no samples");
-  }
+  // Empty => 0.0, not a throw: percentile() sits on metrics-reporting
+  // paths that must stay alive when a reporting window saw no samples.
+  if (samples_.empty()) return 0.0;
   std::vector<double> sorted(samples_);
   std::sort(sorted.begin(), sorted.end());
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);

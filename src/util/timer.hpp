@@ -61,8 +61,13 @@ class DurationStats {
   double max() const;
 
   // p-th percentile in [0, 100] with linear interpolation between order
-  // statistics (percentile(50) of {1,2,3,4} is 2.5). Throws
-  // std::invalid_argument outside [0, 100] and std::logic_error when empty.
+  // statistics (percentile(50) of {1,2,3,4} is 2.5). With a single sample
+  // every percentile is that sample. Returns 0.0 when no samples were
+  // recorded — durations are positive, so 0.0 unambiguously means "empty",
+  // and a metrics-reporting path in a long-running process (e.g. a serving
+  // window that completed no requests) must not throw. Matches
+  // obs::Histogram::quantile's empty semantics. Throws
+  // std::invalid_argument outside [0, 100].
   double percentile(double p) const;
 
   // "12.3 +/- 0.4 ms" or "1.2 +/- 0.1 s" depending on magnitude.

@@ -83,6 +83,84 @@ TEST(ExplainBatchTest, ExplainerExceptionPropagates) {
                std::runtime_error);
 }
 
+// One explainer throwing mid-batch must not cost the other graphs their
+// results, leave tasks queued against destroyed synchronization state, or
+// poison the pool for later batches.
+TEST(ExplainBatchTest, KthGraphThrowingYieldsTypedPerGraphErrors) {
+  // Throws on every graph whose node count matches the k-th graph's; other
+  // graphs explain normally through a DegreeExplainer.
+  class SelectivelyThrowing : public Explainer {
+   public:
+    explicit SelectivelyThrowing(std::uint32_t poison_nodes)
+        : poison_nodes_(poison_nodes) {}
+    std::string name() const override { return "SelectivelyThrowing"; }
+    NodeRanking explain(const Acfg& graph) override {
+      if (graph.num_nodes() == poison_nodes_) {
+        throw std::runtime_error("poisoned graph");
+      }
+      return inner_.explain(graph);
+    }
+
+   private:
+    std::uint32_t poison_nodes_;
+    DegreeExplainer inner_;
+  };
+
+  const Corpus corpus = tiny_corpus();
+  std::vector<const Acfg*> graphs;
+  for (std::size_t i = 0; i < 6; ++i) graphs.push_back(&corpus.graph(i));
+  const std::uint32_t poison = graphs[3]->num_nodes();
+
+  ThreadPool pool(3);
+  const auto outcomes = explain_batch_outcomes(graphs, pool, [&] {
+    return std::make_unique<SelectivelyThrowing>(poison);
+  });
+
+  ASSERT_EQ(outcomes.size(), graphs.size());
+  DegreeExplainer reference;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs[i]->num_nodes() == poison) {
+      EXPECT_FALSE(outcomes[i].ok()) << "graph " << i;
+      EXPECT_EQ(outcomes[i].error_message(), "poisoned graph");
+      EXPECT_TRUE(outcomes[i].ranking.order.empty());
+    } else {
+      EXPECT_TRUE(outcomes[i].ok()) << "graph " << i;
+      EXPECT_EQ(outcomes[i].error_message(), "");
+      EXPECT_EQ(outcomes[i].ranking.order,
+                reference.explain(*graphs[i]).order);
+    }
+  }
+
+  // The pool survived the failing batch: a follow-up batch on the SAME
+  // pool completes normally with full results.
+  const auto again = explain_batch(graphs, pool, [] {
+    return std::make_unique<DegreeExplainer>();
+  });
+  ASSERT_EQ(again.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(again[i].order.size(), graphs[i]->num_nodes());
+  }
+}
+
+TEST(ExplainBatchTest, ThrowingFactoryIsAPerGraphError) {
+  const Corpus corpus = tiny_corpus();
+  std::vector<const Acfg*> graphs{&corpus.graph(0), &corpus.graph(1)};
+  ThreadPool pool(1);
+  const auto outcomes = explain_batch_outcomes(graphs, pool, []() -> std::unique_ptr<Explainer> {
+    throw std::runtime_error("factory down");
+  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error_message(), "factory down");
+  }
+  // Pool still functional.
+  const auto ok = explain_batch(graphs, pool, [] {
+    return std::make_unique<DegreeExplainer>();
+  });
+  EXPECT_EQ(ok.size(), 2u);
+}
+
 TEST(ExplainBatchTest, FactoryCalledAtMostOncePerWorker) {
   const Corpus corpus = tiny_corpus();
   std::vector<std::size_t> indices;

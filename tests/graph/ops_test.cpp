@@ -189,5 +189,80 @@ TEST(NodesForFractionTest, BadFractionThrows) {
   EXPECT_THROW(nodes_for_fraction(10, 1.1), std::invalid_argument);
 }
 
+Acfg chain_graph(std::uint32_t nodes, std::size_t feature_count, double fill) {
+  Acfg graph(nodes, feature_count);
+  for (std::uint32_t i = 0; i + 1 < nodes; ++i) {
+    graph.add_edge(i, i + 1, EdgeKind::Flow);
+  }
+  for (std::size_t i = 0; i < graph.features().size(); ++i) {
+    graph.features().data()[i] = fill + static_cast<double>(i) * 0.01;
+  }
+  return graph;
+}
+
+TEST(BatchNormalizedGraphsTest, BlocksMatchPerGraphNormalization) {
+  const Acfg g0 = chain_graph(4, 3, 0.5);
+  const Acfg g1 = chain_graph(7, 3, -0.25);
+  const GraphBatch batch = batch_normalized_graphs({&g0, &g1});
+
+  ASSERT_EQ(batch.num_graphs(), 2u);
+  EXPECT_EQ(batch.a_hat.matrix().rows(), 11u);
+  EXPECT_EQ(batch.features.rows(), 11u);
+  EXPECT_EQ(batch.features.cols(), 3u);
+  ASSERT_EQ(batch.inv_sqrt_degree.size(), 11u);
+
+  const std::vector<const Acfg*> graphs = {&g0, &g1};
+  for (std::size_t k = 0; k < graphs.size(); ++k) {
+    const Matrix adjacency = graphs[k]->dense_adjacency();
+    std::vector<double> inv_sqrt;
+    const CsrMatrix expected =
+        normalized_adjacency_csr(adjacency, inv_sqrt, &graphs[k]->features());
+    const BatchedCsr::Range& range = batch.range(k);
+    ASSERT_EQ(range.size(), graphs[k]->num_nodes());
+
+    const Matrix expected_dense = expected.to_dense();
+    const Matrix batch_dense = batch.a_hat.matrix().to_dense();
+    for (std::size_t i = 0; i < range.size(); ++i) {
+      for (std::size_t j = 0; j < range.size(); ++j) {
+        EXPECT_EQ(batch_dense(range.begin + i, range.begin + j),
+                  expected_dense(i, j));
+      }
+      EXPECT_EQ(batch.inv_sqrt_degree[range.begin + i], inv_sqrt[i]);
+      for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_EQ(batch.features(range.begin + i, c),
+                  graphs[k]->features()(i, c));
+      }
+    }
+    EXPECT_EQ(batch.active_counts[k],
+              count_active_nodes(adjacency, graphs[k]->features()));
+  }
+}
+
+TEST(BatchNormalizedGraphsTest, ActiveCountsSkipPaddedNodes) {
+  // Two trailing nodes with no edges and zero features are inactive.
+  Acfg graph(5, 2);
+  graph.add_edge(0, 1, EdgeKind::Flow);
+  graph.features()(0, 0) = 1.0;
+  graph.features()(1, 1) = 1.0;
+  graph.features()(2, 0) = 3.0;  // isolated but feature-active
+  const GraphBatch batch = batch_normalized_graphs({&graph});
+  ASSERT_EQ(batch.active_counts.size(), 1u);
+  EXPECT_EQ(batch.active_counts[0], 3u);
+  EXPECT_EQ(batch.inv_sqrt_degree[3], 0.0);
+  EXPECT_EQ(batch.inv_sqrt_degree[4], 0.0);
+}
+
+TEST(BatchNormalizedGraphsTest, EmptyAndInvalidInputs) {
+  const GraphBatch empty = batch_normalized_graphs({});
+  EXPECT_EQ(empty.num_graphs(), 0u);
+
+  const Acfg narrow(2, 2);
+  const Acfg wide(2, 3);
+  EXPECT_THROW(batch_normalized_graphs({&narrow, &wide}),
+               std::invalid_argument);
+  EXPECT_THROW(batch_normalized_graphs({&narrow, nullptr}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cfgx

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -153,6 +155,100 @@ TEST(SpmmTest, StructuralZeroesSkipNonFiniteOperandRows) {
   // The dense reference now faithfully poisons the result instead.
   const Matrix dense_out = matmul(a, b);
   EXPECT_TRUE(std::isnan(dense_out(0, 0)));
+}
+
+TEST(BatchedCsrTest, ConcatBuildsBlockDiagonal) {
+  Rng rng(7);
+  const Matrix dense_a = random_sparse(3, 4, 0.4, rng);
+  const Matrix dense_b = random_sparse(5, 2, 0.4, rng);
+  const CsrMatrix a = CsrMatrix::from_dense(dense_a);
+  const CsrMatrix b = CsrMatrix::from_dense(dense_b);
+
+  const BatchedCsr batched = BatchedCsr::concat({&a, &b});
+  ASSERT_EQ(batched.num_blocks(), 2u);
+  EXPECT_EQ(batched.matrix().rows(), 8u);
+  EXPECT_EQ(batched.matrix().cols(), 6u);
+  EXPECT_EQ(batched.matrix().nnz(), a.nnz() + b.nnz());
+  EXPECT_EQ(batched.range(0).begin, 0u);
+  EXPECT_EQ(batched.range(0).end, 3u);
+  EXPECT_EQ(batched.range(1).begin, 3u);
+  EXPECT_EQ(batched.range(1).end, 5u + 3u);
+  EXPECT_EQ(batched.range(1).size(), 5u);
+
+  // Dense view is exactly block-diagonal: each block verbatim on the
+  // diagonal, zeros everywhere else.
+  const Matrix dense = batched.matrix().to_dense();
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double expected = 0.0;
+      if (i < 3 && j < 4) expected = dense_a(i, j);
+      if (i >= 3 && j >= 4) expected = dense_b(i - 3, j - 4);
+      EXPECT_EQ(dense(i, j), expected) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(BatchedCsrTest, SpmmOverConcatIsBitIdenticalToPerBlockSpmm) {
+  Rng rng(11);
+  // Ragged block sizes, including a 1-row block.
+  const std::vector<std::size_t> sizes = {5, 1, 9, 3};
+  std::vector<Matrix> dense_blocks;
+  std::vector<CsrMatrix> csr_blocks;
+  for (std::size_t n : sizes) {
+    dense_blocks.push_back(random_sparse(n, n, 0.3, rng));
+    csr_blocks.push_back(CsrMatrix::from_dense(dense_blocks.back()));
+  }
+  std::vector<const CsrMatrix*> ptrs;
+  for (const CsrMatrix& c : csr_blocks) ptrs.push_back(&c);
+  const BatchedCsr batched = BatchedCsr::concat(ptrs);
+
+  const std::size_t feat = 6;
+  std::vector<Matrix> features;
+  Matrix stacked(batched.matrix().rows(), feat);
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    features.push_back(random_dense(sizes[k], feat, rng));
+    const BatchedCsr::Range& range = batched.range(k);
+    for (std::size_t r = 0; r < sizes[k]; ++r) {
+      for (std::size_t c = 0; c < feat; ++c) {
+        stacked(range.begin + r, c) = features[k](r, c);
+      }
+    }
+  }
+
+  const Matrix batched_out = spmm(batched.matrix(), stacked);
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const Matrix block_out = spmm(csr_blocks[k], features[k]);
+    const BatchedCsr::Range& range = batched.range(k);
+    for (std::size_t r = 0; r < sizes[k]; ++r) {
+      for (std::size_t c = 0; c < feat; ++c) {
+        // Bit-identical, not approximately equal: same additions in the
+        // same order per output element.
+        EXPECT_EQ(batched_out(range.begin + r, c), block_out(r, c))
+            << "block " << k << " (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+TEST(BatchedCsrTest, EmptyBlocksAndEmptyInput) {
+  const BatchedCsr none = BatchedCsr::concat({});
+  EXPECT_EQ(none.num_blocks(), 0u);
+  EXPECT_TRUE(none.matrix().empty());
+
+  const CsrMatrix empty;
+  const CsrMatrix tiny = CsrMatrix::from_dense(Matrix{{1.0}});
+  const BatchedCsr mixed = BatchedCsr::concat({&empty, &tiny, &empty});
+  EXPECT_EQ(mixed.num_blocks(), 3u);
+  EXPECT_EQ(mixed.matrix().rows(), 1u);
+  EXPECT_EQ(mixed.range(0).size(), 0u);
+  EXPECT_EQ(mixed.range(1).begin, 0u);
+  EXPECT_EQ(mixed.range(1).end, 1u);
+  EXPECT_EQ(mixed.matrix().to_dense()(0, 0), 1.0);
+}
+
+TEST(BatchedCsrTest, NullBlockThrows) {
+  const CsrMatrix a = CsrMatrix::from_dense(Matrix{{1.0}});
+  EXPECT_THROW(BatchedCsr::concat({&a, nullptr}), std::invalid_argument);
 }
 
 }  // namespace

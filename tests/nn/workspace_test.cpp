@@ -139,6 +139,126 @@ TEST(WorkspaceTest, LocalIsStableAcrossCalls) {
   EXPECT_EQ(&Workspace::local(), &Workspace::local());
 }
 
+TEST(WorkspaceTest, OversizedBufferAgesOutDespiteBorrowedUse) {
+  Workspace workspace;
+  workspace.set_trim_after(4);
+  { Workspace::Lease big = workspace.acquire(32, 32); }  // acquisition 1
+  ASSERT_EQ(workspace.pooled_count(), 1u);
+  ASSERT_GE(workspace.pooled_capacity(), 1024u);
+  // Small leases borrow the big buffer (best fit) but never fill half its
+  // capacity, so its right-sized stamp stays pinned at acquisition 1.
+  for (int i = 0; i < 4; ++i) {  // acquisitions 2..5: age 1..4, kept
+    Workspace::Lease small = workspace.acquire(2, 2);
+    EXPECT_GE(small->capacity(), 1024u) << "borrowed the oversized block";
+  }
+  EXPECT_EQ(workspace.pooled_count(), 1u);
+  EXPECT_GE(workspace.pooled_capacity(), 1024u);
+  // Acquisition 6: age 5 > 4 trims the oversized block; the request is
+  // served by a fresh right-sized allocation instead.
+  { Workspace::Lease small = workspace.acquire(2, 2); }
+  EXPECT_EQ(workspace.pooled_count(), 1u);
+  EXPECT_LT(workspace.pooled_capacity(), 1024u);
+}
+
+TEST(WorkspaceTest, SteadySameShapeReuseNeverTrims) {
+  Workspace workspace;
+  workspace.set_trim_after(4);
+  const double* block = nullptr;
+  {
+    Workspace::Lease lease = workspace.acquire(8, 8);
+    block = lease->data();
+  }
+  // Every reuse fills the whole buffer, refreshing its age: the same heap
+  // block serves all 100 acquisitions, far beyond the trim window.
+  for (int i = 0; i < 100; ++i) {
+    Workspace::Lease lease = workspace.acquire(8, 8);
+    EXPECT_EQ(lease->data(), block);
+  }
+  EXPECT_EQ(workspace.pooled_count(), 1u);
+}
+
+TEST(WorkspaceTest, TrimZeroDisablesAging) {
+  Workspace workspace;
+  workspace.set_trim_after(0);
+  { Workspace::Lease big = workspace.acquire(32, 32); }
+  for (int i = 0; i < 100; ++i) {
+    Workspace::Lease small = workspace.acquire(2, 2);
+  }
+  // The oversized block survives 100 poor-fit uses: nothing ever trimmed.
+  EXPECT_EQ(workspace.pooled_count(), 1u);
+  EXPECT_GE(workspace.pooled_capacity(), 1024u);
+}
+
+TEST(WorkspaceTest, BytesRetainedGaugeTracksPoolDeltas) {
+  const bool saved = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& retained =
+      obs::MetricsRegistry::global().gauge("workspace.bytes_retained");
+  const double before = retained.value();
+
+  Workspace workspace;
+  { Workspace::Lease lease = workspace.acquire(8, 8); }
+  EXPECT_EQ(retained.value() - before,
+            static_cast<double>(workspace.bytes_retained()));
+  EXPECT_GE(workspace.bytes_retained(), 64u * sizeof(double));
+
+  workspace.clear();
+  EXPECT_EQ(workspace.bytes_retained(), 0u);
+  EXPECT_EQ(retained.value(), before);
+
+  obs::set_metrics_enabled(saved);
+}
+
+// The serve regression: heterogeneous graph sizes on one long-lived thread
+// must not grow retained bytes without bound. Mixed-size scratch traffic
+// with an occasional one-off giant lease plateaus because the giant buffer
+// ages out of the pool.
+TEST(WorkspaceTest, MixedSizeServingTrafficPlateausRetainedBytes) {
+  Workspace workspace;
+  workspace.set_trim_after(16);
+
+  auto serve_cycle = [&](std::size_t nodes) {
+    // Rough shape of one explanation: a features-sized lease, an
+    // embeddings-sized lease, and a scores-sized lease.
+    Workspace::Lease f = workspace.acquire(nodes, 12);
+    Workspace::Lease e = workspace.acquire(nodes, 32);
+    Workspace::Lease s = workspace.acquire(nodes, 1);
+  };
+
+  // Warm up with the steady mix, then spike one giant graph.
+  const std::size_t sizes[] = {16, 24, 64, 48};
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t n : sizes) serve_cycle(n);
+  }
+  serve_cycle(2048);  // the spike
+  const std::size_t after_spike = workspace.bytes_retained();
+  ASSERT_GE(after_spike, 2048u * 32u * sizeof(double));
+
+  // Steady mixed traffic again: the spike's buffers age out and retained
+  // bytes fall back to the steady working set.
+  for (int round = 0; round < 16; ++round) {
+    for (std::size_t n : sizes) serve_cycle(n);
+  }
+  const std::size_t settled = workspace.bytes_retained();
+  EXPECT_LT(settled, after_spike);
+  EXPECT_LT(settled, 2048u * 32u * sizeof(double));
+  // Plateau: the retention peak over one window of continued traffic equals
+  // the peak over the next (the deterministic reuse pattern has settled
+  // into a bounded cycle — no unbounded growth).
+  auto peak_over_rounds = [&](int rounds) {
+    std::size_t peak = 0;
+    for (int round = 0; round < rounds; ++round) {
+      for (std::size_t n : sizes) serve_cycle(n);
+      peak = std::max(peak, workspace.bytes_retained());
+    }
+    return peak;
+  };
+  const std::size_t first_window = peak_over_rounds(16);
+  const std::size_t second_window = peak_over_rounds(16);
+  EXPECT_LE(second_window, first_window);
+  EXPECT_LT(second_window, after_spike);
+}
+
 TEST(MatrixApply, TemplateAndStdFunctionOverloadsAgree) {
   Matrix a{{-1.5, 0.0, 2.0}, {3.0, -0.25, -0.0}};
   Matrix b = a;

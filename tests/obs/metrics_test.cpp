@@ -97,6 +97,39 @@ TEST_F(MetricsTest, HistogramQuantilesWithinBucketResolution) {
   EXPECT_THROW(histogram.quantile(-0.1), std::invalid_argument);
 }
 
+TEST_F(MetricsTest, HistogramQuantileOnEmptyIsZeroForEveryQ) {
+  // An idle histogram (e.g. a serve latency histogram before any request
+  // completed) must be snapshot-safe: every quantile is the documented
+  // 0.0, no bucket array access, no throw.
+  Histogram& histogram = MetricsRegistry::global().histogram("test.empty");
+  EXPECT_EQ(histogram.count(), 0u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.quantile(q), 0.0) << "q=" << q;
+  }
+  // Range validation still applies when empty.
+  EXPECT_THROW(histogram.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(histogram.quantile(1.5), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, HistogramQuantileWithSingleSampleIsExact) {
+  Histogram& histogram = MetricsRegistry::global().histogram("test.single");
+  histogram.record(0.042);
+  // The [min, max] clamp collapses every quantile onto the one sample.
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.quantile(q), 0.042) << "q=" << q;
+  }
+}
+
+TEST_F(MetricsTest, HistogramQuantileAllSamplesInOneBucketIsExactRange) {
+  Histogram& histogram = MetricsRegistry::global().histogram("test.onebucket");
+  // Identical values land in one bucket; quantiles must report that value
+  // exactly (clamped), not a bucket midpoint.
+  for (int i = 0; i < 50; ++i) histogram.record(0.010);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.quantile(q), 0.010) << "q=" << q;
+  }
+}
+
 TEST_F(MetricsTest, HistogramBucketBoundsAreMonotone) {
   double previous = Histogram::bucket_lower_bound(0);
   for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {

@@ -1,0 +1,311 @@
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "explain/baselines.hpp"
+#include "explain/cfg_explainer.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace cfgx::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+GnnConfig small_gnn_config() {
+  GnnConfig config;
+  config.gcn_dims = {8, 6};
+  return config;
+}
+
+ExplainerModelConfig small_theta_config(const GnnConfig& gnn) {
+  ExplainerModelConfig config;
+  config.embedding_dim = gnn.embedding_dim();
+  config.num_classes = gnn.num_classes;
+  config.scorer_dims = {8, 1};
+  config.surrogate_dims = {8};
+  return config;
+}
+
+// One GNN + one Theta shared by every test; inference is const and the
+// engine factories deep-copy the model, so sharing is safe.
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : rng_(42), gnn_(small_gnn_config(), rng_) {}
+
+  ExplainerModel fresh_theta() {
+    Rng theta_rng(7);
+    return ExplainerModel(small_theta_config(gnn_.config()), theta_rng);
+  }
+
+  ExplainerFactory cfg_factory() {
+    return make_cfg_explainer_factory(gnn_, fresh_theta());
+  }
+
+  static Acfg corpus_graph(std::size_t index) {
+    CorpusConfig config;
+    config.samples_per_family = 2;
+    config.seed = 3;
+    static const Corpus corpus = generate_corpus(config);
+    return corpus.graph(index % corpus.size());
+  }
+
+  Rng rng_;
+  GnnClassifier gnn_;
+};
+
+TEST_F(EngineTest, BatchedServingMatchesPerGraphInferenceAndExplanation) {
+  ServeConfig config;
+  config.max_batch = 4;
+  config.explain_workers = 2;
+  ExplanationEngine engine(gnn_, cfg_factory(), config);
+
+  std::vector<Acfg> graphs;
+  std::vector<std::future<ExplanationResponse>> futures;
+  for (std::size_t i = 0; i < 6; ++i) {
+    graphs.push_back(corpus_graph(i * 3));
+    futures.push_back(engine.submit(graphs.back()));
+  }
+
+  CfgExplainer reference(gnn_);
+  reference.set_model(fresh_theta());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    ExplanationResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << to_string(response.status);
+    // Batched block-diagonal inference is BIT-identical to the per-graph
+    // dense path.
+    const Prediction expected = gnn_.predict(graphs[i]);
+    EXPECT_EQ(response.prediction.predicted_class, expected.predicted_class);
+    EXPECT_EQ(response.prediction.probabilities, expected.probabilities);
+    EXPECT_EQ(response.ranking.order, reference.explain(graphs[i]).order);
+  }
+}
+
+TEST_F(EngineTest, SubmitValidatesGraphAgainstTheGnn) {
+  ExplanationEngine engine(gnn_, cfg_factory());
+  EXPECT_THROW(engine.submit(Acfg()), std::invalid_argument);
+  EXPECT_THROW(engine.submit(Acfg(3, /*feature_count=*/2)),
+               std::invalid_argument);
+}
+
+TEST_F(EngineTest, ExpiredDeadlineIsATypedResponseNotACrash) {
+  ExplanationEngine engine(gnn_, cfg_factory());
+  const Acfg graph = corpus_graph(0);
+
+  auto late = engine.submit(graph, ExplanationEngine::Clock::now() - 1s);
+  EXPECT_EQ(late.get().status, ResponseStatus::DeadlineExceeded);
+
+  // The engine is still healthy afterwards.
+  auto ok = engine.submit(graph);
+  EXPECT_EQ(ok.get().status, ResponseStatus::Ok);
+}
+
+// Explainer whose explain() spins until the shared gate opens; used to
+// hold the dispatcher busy so queue states can be set up deterministically.
+class GatedExplainer : public Explainer {
+ public:
+  explicit GatedExplainer(std::shared_ptr<std::atomic<bool>> gate)
+      : gate_(std::move(gate)) {}
+  std::string name() const override { return "Gated"; }
+  NodeRanking explain(const Acfg& graph) override {
+    while (!gate_->load()) std::this_thread::sleep_for(1ms);
+    NodeRanking ranking;
+    for (std::uint32_t i = 0; i < graph.num_nodes(); ++i) {
+      ranking.order.push_back(i);
+    }
+    return ranking;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> gate_;
+};
+
+void wait_for_empty_queue(const ExplanationEngine& engine) {
+  while (engine.queue_depth() != 0) std::this_thread::sleep_for(1ms);
+}
+
+TEST_F(EngineTest, FullQueueRejectsImmediatelyWithQueueFull) {
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  ServeConfig config;
+  config.queue_capacity = 1;
+  config.max_batch = 1;
+  config.explain_workers = 1;
+  ExplanationEngine engine(
+      gnn_, [gate] { return std::make_unique<GatedExplainer>(gate); }, config);
+  const Acfg graph = corpus_graph(2);
+
+  auto busy = engine.submit(graph);
+  wait_for_empty_queue(engine);  // dispatcher holds `busy` at the gate
+  auto queued = engine.submit(graph);
+  auto rejected = engine.submit(graph);
+
+  // Backpressure is immediate: the future is already complete.
+  ASSERT_EQ(rejected.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(rejected.get().status, ResponseStatus::QueueFull);
+
+  gate->store(true);
+  EXPECT_EQ(busy.get().status, ResponseStatus::Ok);
+  EXPECT_EQ(queued.get().status, ResponseStatus::Ok);
+}
+
+TEST_F(EngineTest, StopDrainsQueuedRequestsWithEngineStopped) {
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  ServeConfig config;
+  config.max_batch = 1;
+  config.explain_workers = 1;
+  ExplanationEngine engine(
+      gnn_, [gate] { return std::make_unique<GatedExplainer>(gate); }, config);
+  const Acfg graph = corpus_graph(4);
+
+  auto in_flight = engine.submit(graph);
+  wait_for_empty_queue(engine);
+  auto queued = engine.submit(graph);
+
+  std::thread stopper([&] { engine.stop(); });
+  std::this_thread::sleep_for(20ms);  // let stop() set the flag
+  gate->store(true);
+  stopper.join();
+
+  EXPECT_EQ(in_flight.get().status, ResponseStatus::Ok);
+  EXPECT_EQ(queued.get().status, ResponseStatus::EngineStopped);
+
+  // Submission after stop is a typed response too.
+  EXPECT_EQ(engine.submit(graph).get().status, ResponseStatus::EngineStopped);
+}
+
+TEST_F(EngineTest, ExplainerFailureIsPerRequestAndKeepsThePrediction) {
+  // Throws for every graph with the marker node count; other graphs serve
+  // normally from the same engine and the same batch.
+  const Acfg good = corpus_graph(1);
+  Acfg poisoned = corpus_graph(5);
+  while (poisoned.num_nodes() == good.num_nodes()) {
+    poisoned = corpus_graph(7);
+  }
+  const std::uint32_t marker = poisoned.num_nodes();
+
+  class SelectiveThrow : public Explainer {
+   public:
+    explicit SelectiveThrow(std::uint32_t marker) : marker_(marker) {}
+    std::string name() const override { return "SelectiveThrow"; }
+    NodeRanking explain(const Acfg& graph) override {
+      if (graph.num_nodes() == marker_) {
+        throw std::runtime_error("poisoned graph");
+      }
+      return DegreeExplainer().explain(graph);
+    }
+
+   private:
+    std::uint32_t marker_;
+  };
+
+  ServeConfig config;
+  config.max_batch = 2;
+  ExplanationEngine engine(
+      gnn_, [marker] { return std::make_unique<SelectiveThrow>(marker); },
+      config);
+
+  auto ok_future = engine.submit(good);
+  auto bad_future = engine.submit(poisoned);
+
+  ExplanationResponse ok = ok_future.get();
+  EXPECT_EQ(ok.status, ResponseStatus::Ok);
+  EXPECT_EQ(ok.ranking.order, DegreeExplainer().explain(good).order);
+
+  ExplanationResponse bad = bad_future.get();
+  EXPECT_EQ(bad.status, ResponseStatus::ExplainError);
+  EXPECT_NE(bad.error.find("poisoned graph"), std::string::npos);
+  // Classification ran in the batched forward pass before the explainer
+  // failed; the response keeps it.
+  EXPECT_EQ(bad.prediction.predicted_class,
+            gnn_.predict(poisoned).predicted_class);
+
+  // The engine survives the failure.
+  EXPECT_EQ(engine.submit(good).get().status, ResponseStatus::Ok);
+}
+
+TEST_F(EngineTest, SteadyStateServingIsWorkspaceAllocFree) {
+  const bool saved = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& allocated =
+      obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+
+  ServeConfig config;
+  config.max_batch = 1;
+  config.explain_workers = 1;
+  ExplanationEngine engine(gnn_, cfg_factory(), config);
+  const Acfg graph = corpus_graph(3);
+
+  // Submit-and-await keeps every batch identical: same graph, same shapes.
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(engine.submit(graph).get().ok());
+  }
+  const std::uint64_t allocated_before = allocated.value();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(engine.submit(graph).get().ok());
+  }
+  // Warmed-up serving performs no fresh workspace allocation: prepare
+  // leases and kernel scratch are all served from pooled capacity.
+  EXPECT_EQ(allocated.value(), allocated_before);
+
+  obs::set_metrics_enabled(saved);
+}
+
+// The TSan target: many client threads race submit() against the
+// dispatcher, backpressure, deadlines and stop().
+TEST_F(EngineTest, ConcurrentSubmitHammer) {
+  ServeConfig config;
+  config.queue_capacity = 8;
+  config.max_batch = 4;
+  config.explain_workers = 2;
+  ExplanationEngine engine(
+      gnn_, [] { return std::make_unique<DegreeExplainer>(); }, config);
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 12;
+  std::atomic<std::size_t> ok_count{0};
+  std::atomic<std::size_t> bad_status{0};
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const Acfg graph = corpus_graph(c * kPerClient + i);
+        // A third of the requests carry an already-expired deadline.
+        const auto deadline = (i % 3 == 0)
+                                  ? ExplanationEngine::Clock::now() - 1ms
+                                  : ExplanationEngine::Clock::time_point::max();
+        ExplanationResponse response =
+            engine.submit(graph, deadline).get();
+        switch (response.status) {
+          case ResponseStatus::Ok:
+            ok_count.fetch_add(1);
+            break;
+          case ResponseStatus::QueueFull:
+          case ResponseStatus::DeadlineExceeded:
+          case ResponseStatus::EngineStopped:
+            break;
+          default:
+            bad_status.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  engine.stop();
+
+  EXPECT_EQ(bad_status.load(), 0u);
+  // Unexpired, admitted requests must all have served.
+  EXPECT_GT(ok_count.load(), 0u);
+}
+
+}  // namespace
+}  // namespace cfgx::serve

@@ -70,18 +70,33 @@ TEST(DurationStatsTest, PercentileInterpolatesOrderStatistics) {
 TEST(DurationStatsTest, PercentileOfSingleSample) {
   DurationStats stats;
   stats.add(7.0);
+  // A single sample is every percentile — including the endpoints, which
+  // touch the interpolation code's lo+1 == size boundary.
   EXPECT_DOUBLE_EQ(stats.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(50.0), 7.0);
   EXPECT_DOUBLE_EQ(stats.percentile(95.0), 7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(100.0), 7.0);
+}
+
+TEST(DurationStatsTest, PercentileOnEmptyIsZeroNotAThrow) {
+  // The documented empty semantics: metrics-reporting paths (a serving
+  // window that completed no requests) call percentile() unconditionally
+  // and must not crash the process.
+  const DurationStats empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100.0), 0.0);
 }
 
 TEST(DurationStatsTest, PercentileValidatesInput) {
-  DurationStats empty;
-  EXPECT_THROW(empty.percentile(50.0), std::logic_error);
   DurationStats stats;
   stats.add(1.0);
   EXPECT_THROW(stats.percentile(-1.0), std::invalid_argument);
   EXPECT_THROW(stats.percentile(100.5), std::invalid_argument);
   EXPECT_THROW(stats.percentile(std::nan("")), std::invalid_argument);
+  // Range validation applies even when empty (bad p is a caller bug).
+  const DurationStats empty;
+  EXPECT_THROW(empty.percentile(-1.0), std::invalid_argument);
 }
 
 TEST(DurationStatsTest, P95OfUniformGrid) {
