@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "nn/simd.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -101,6 +102,14 @@ BenchConfig BenchConfig::from_cli(const CliArgs& args) {
                  "[bench] replaying failing seed %lld as corpus seed "
                  "(cache bypassed)\n",
                  static_cast<long long>(replay));
+  }
+
+  // Kernel ISA override: `--simd=I` beats CFGX_SIMD beats runtime dispatch.
+  // Applied here so every kernel call in every bench binary runs under the
+  // requested ISA; bad values throw before any measurement happens.
+  config.simd = args.get_string("simd", "");
+  if (!config.simd.empty()) {
+    simd::set_isa(simd::parse_isa(config.simd));
   }
   return config;
 }
@@ -448,6 +457,10 @@ RunReport::RunReport(const std::string& binary_name, const CliArgs& args,
   manifest_.set_config("step_size_percent",
                        static_cast<std::uint64_t>(config.step_size_percent));
   manifest_.set_config("cache_dir", config.cache_dir);
+  // Per-ISA attribution: every manifest names the kernel ISA that produced
+  // its numbers (dispatch() resolves CFGX_SIMD / --simd / CPUID here).
+  manifest_.set_config("simd_isa", std::string(simd::isa_name(simd::dispatch())));
+  simd::record_isa_metric();
 
   if (want_trace) {
     obs::start_tracing();

@@ -11,6 +11,10 @@
 //   --fast          quarter-size corpus + shorter training (smoke runs)
 //   --fresh         ignore and overwrite the cache
 //   --cache-dir D   cache directory (default ./cfgx_bench_cache)
+//   --simd=I        force the kernel ISA ("scalar" | "avx2"); default is
+//                   the runtime-dispatched widest supported ISA (also
+//                   overridable by CFGX_SIMD). The resolved ISA is recorded
+//                   as `simd_isa` in every run manifest.
 #pragma once
 
 #include <memory>
@@ -59,6 +63,8 @@ struct BenchConfig {
   bool fast = false;
   bool fresh = false;
   std::string cache_dir = "cfgx_bench_cache";
+  // Kernel ISA override ("scalar" | "avx2"); empty keeps runtime dispatch.
+  std::string simd;
 
   static BenchConfig from_cli(const CliArgs& args);
 };

@@ -11,10 +11,16 @@
 //
 // --kernels-baseline[=path] (default BENCH_kernels.json) switches to a
 // self-contained comparison mode instead of running google-benchmark: it
-// times blocked-vs-naive matmul and `_into`-vs-allocating kernel pairs at
-// n in {64, 128, 256} with DurationStats (p50/p95) and records the
-// workspace counter deltas proving the `_into` loops are allocation-free
-// in steady state, then writes the result as JSON and exits.
+// times blocked-vs-naive matmul, `_into`-vs-allocating kernel pairs,
+// scalar-vs-AVX2 matmul/spmm (when the host supports AVX2+FMA), and
+// fp64-vs-bf16 matmul at n in {64, 128, 256} with DurationStats (p50/p95),
+// records the workspace counter deltas proving the `_into` loops are
+// allocation-free in steady state, attributes every case to the ISA that
+// ran it, then writes the result as JSON and exits.
+//
+// --simd=I ("scalar" | "avx2") forces the kernel ISA for the
+// google-benchmark mode and for the non-differential baseline cases; the
+// active ISA lands in the run manifest as `simd_isa`.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -30,6 +36,8 @@
 #include "gnn/classifier.hpp"
 #include "graph/ops.hpp"
 #include "isa/features.hpp"
+#include "nn/matrix16.hpp"
+#include "nn/simd.hpp"
 #include "nn/sparse.hpp"
 #include "nn/workspace.hpp"
 #include "obs/json.hpp"
@@ -386,21 +394,29 @@ int run_kernels_baseline(const std::string& out_path) {
   obs::Counter& allocated =
       obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
 
+  const char* active_isa = simd::isa_name(simd::dispatch());
+
   obs::JsonWriter json;
   json.begin_object();
-  json.field("schema", "cfgx.bench.kernels.v1");
+  json.field("schema", "cfgx.bench.kernels.v2");
   json.field("binary", "micro_kernels");
   json.field("feature_cols", std::uint64_t{64});
+  json.field("isa", active_isa);
+  json.field("avx2_supported", simd::avx2_supported());
   json.key("cases").begin_array();
 
-  // Time one before/after pair and emit a case object. The workspace
-  // counter deltas are sampled around the AFTER loop only (the warm-up
-  // inside time_loop runs first, so a non-zero bytes_allocated delta here
-  // means the optimized path still allocates in steady state).
+  // Time one before/after pair and emit a case object, attributing each
+  // side to the ISA that ran it (the differential scalar-vs-avx2 cases
+  // force one side each; everything else runs under the active ISA). The
+  // workspace counter deltas are sampled around the AFTER loop only (the
+  // warm-up inside time_loop runs first, so a non-zero bytes_allocated
+  // delta here means the optimized path still allocates in steady state).
   const auto emit_case = [&](const char* name, std::size_t n,
                              std::size_t iters,
                              const std::function<void()>& before,
-                             const std::function<void()>& after) {
+                             const std::function<void()>& after,
+                             const char* before_isa = nullptr,
+                             const char* after_isa = nullptr) {
     const DurationStats before_stats = time_loop(iters, before);
     const std::uint64_t reused_before = reused.value();
     const std::uint64_t allocated_before = allocated.value();
@@ -408,6 +424,8 @@ int run_kernels_baseline(const std::string& out_path) {
     json.begin_object();
     json.field("name", name);
     json.field("n", static_cast<std::uint64_t>(n));
+    json.field("before_isa", before_isa ? before_isa : active_isa);
+    json.field("after_isa", after_isa ? after_isa : active_isa);
     write_stats(json, "before", before_stats);
     write_stats(json, "after", after_stats);
     json.field("speedup_mean",
@@ -465,6 +483,50 @@ int run_kernels_baseline(const std::string& out_path) {
                 layer.infer_into(a_hat, h, out);
                 benchmark::DoNotOptimize(out.data());
               });
+
+    // --- scalar vs AVX2 (acceptance bar: >= 2x for matmul AND spmm at
+    // n = 256). Each side forces its ISA; the spmm runs at CFG density.
+    // Skipped when dispatch resolved to scalar — either the host lacks
+    // AVX2+FMA or the user forced scalar (CFGX_SIMD/--simd), and a forced
+    // run must never sneak vector kernels in.
+    if (simd::dispatch() == simd::Isa::Avx2) {
+      emit_case("matmul_scalar_vs_avx2", n, iters,
+                [&] {
+                  simd::ScopedIsa isa(simd::Isa::Scalar);
+                  matmul_into(a, b, out);
+                  benchmark::DoNotOptimize(out.data());
+                },
+                [&] {
+                  simd::ScopedIsa isa(simd::Isa::Avx2);
+                  matmul_into(a, b, out);
+                  benchmark::DoNotOptimize(out.data());
+                },
+                "scalar", "avx2");
+      emit_case("spmm_scalar_vs_avx2", n, iters,
+                [&] {
+                  simd::ScopedIsa isa(simd::Isa::Scalar);
+                  spmm_into(a_hat, h, out);
+                  benchmark::DoNotOptimize(out.data());
+                },
+                [&] {
+                  simd::ScopedIsa isa(simd::Isa::Avx2);
+                  spmm_into(a_hat, h, out);
+                  benchmark::DoNotOptimize(out.data());
+                },
+                "scalar", "avx2");
+    }
+
+    // --- fp64 vs bf16 feature transform under the active ISA.
+    const Matrix16 b16 = Matrix16::pack(b);
+    emit_case("matmul_fp64_vs_bf16", n, iters,
+              [&] {
+                matmul_into(a, b, out);
+                benchmark::DoNotOptimize(out.data());
+              },
+              [&] {
+                matmul_bf16_into(a, b16, out);
+                benchmark::DoNotOptimize(out.data());
+              });
   }
 
   json.end_array();
@@ -494,9 +556,20 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     constexpr char kManifestFlag[] = "--manifest=";
     constexpr char kBaselineFlag[] = "--kernels-baseline";
+    constexpr char kSimdFlag[] = "--simd=";
     if (std::strncmp(argv[i], kManifestFlag, sizeof kManifestFlag - 1) == 0) {
       manifest_path = argv[i] + sizeof kManifestFlag - 1;
       continue;  // google-benchmark rejects flags it does not know
+    }
+    if (std::strncmp(argv[i], kSimdFlag, sizeof kSimdFlag - 1) == 0) {
+      try {
+        cfgx::simd::set_isa(
+            cfgx::simd::parse_isa(argv[i] + sizeof kSimdFlag - 1));
+      } catch (const std::exception& error) {
+        std::cerr << "--simd: " << error.what() << "\n";
+        return 1;
+      }
+      continue;
     }
     if (std::strncmp(argv[i], kBaselineFlag, sizeof kBaselineFlag - 1) == 0) {
       kernels_baseline = true;
@@ -520,6 +593,8 @@ int main(int argc, char** argv) {
 
   cfgx::obs::RunManifest manifest("micro_kernels");
   manifest.set_config("metrics_enabled", cfgx::obs::metrics_enabled());
+  manifest.set_config(
+      "simd_isa", std::string(cfgx::simd::isa_name(cfgx::simd::dispatch())));
   manifest.set_metrics(cfgx::obs::MetricsRegistry::global().snapshot());
   manifest.write_file(manifest_path);
   return 0;

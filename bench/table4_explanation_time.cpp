@@ -5,12 +5,36 @@
 // to 7352 nodes); the reproduced *shape* is the ordering
 // CFGExplainer < PGExplainer << GNNExplainer << SubgraphX and the fact that
 // only CFGExplainer and PGExplainer pay an offline training phase.
+#include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
+#include "nn/matrix16.hpp"
+#include "nn/simd.hpp"
 
 using namespace cfgx;
 using namespace cfgx::bench;
+
+namespace {
+
+// Phi inference wall-clock over the eval graphs at one precision. The
+// manifest rows this feeds carry the active `simd_isa` config entry, so a
+// scalar-forced run (--simd=scalar / CFGX_SIMD=scalar) is attributable
+// next to the default-dispatch one.
+DurationStats time_predictions(const GnnClassifier& gnn, BenchContext& ctx) {
+  using clock = std::chrono::steady_clock;
+  DurationStats stats;
+  for (std::size_t index : ctx.eval_indices()) {
+    const Acfg& graph = ctx.corpus().graph(index);
+    const auto start = clock::now();
+    const Prediction prediction = gnn.predict(graph);
+    stats.add(std::chrono::duration<double>(clock::now() - start).count());
+    (void)prediction;
+  }
+  return stats;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
@@ -58,6 +82,21 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", table.render().c_str());
+
+  // fp64-vs-bf16 Phi inference on the same eval set: the serving-precision
+  // comparison Table IV's wall-clock discussion leans on, recorded in the
+  // manifest with per-ISA attribution (`simd_isa` + the timing pair).
+  {
+    GnnClassifier bf16 = ctx.gnn().clone();
+    bf16.set_precision(Precision::Bf16);
+    const DurationStats fp64_stats = time_predictions(ctx.gnn(), ctx);
+    const DurationStats bf16_stats = time_predictions(bf16, ctx);
+    report.add_timing("gnn_predict.fp64", fp64_stats);
+    report.add_timing("gnn_predict.bf16", bf16_stats);
+    std::printf("Phi inference (%s kernels): fp64 %s, bf16 %s per graph.\n",
+                simd::isa_name(simd::dispatch()), fp64_stats.summary().c_str(),
+                bf16_stats.summary().c_str());
+  }
 
   std::printf("Paper (Table IV, 7352-node graphs, GPU): CFGExplainer 3.9 min,\n"
               "PGExplainer 6.4 min, GNNExplainer 42.8 min, SubgraphX 127.8 min\n"

@@ -73,6 +73,15 @@ class GnnClassifier {
   void set_scaler(FeatureScaler scaler) { scaler_ = std::move(scaler); }
   const FeatureScaler& scaler() const noexcept { return scaler_; }
 
+  // Inference precision (DESIGN.md decision 14). Bf16 packs bf16 copies of
+  // the GCN and readout weights and routes every inference-path feature
+  // transform through the fp32-accumulating bf16 kernels; Fp64 restores the
+  // reference path. Training (forward_cached/backward_cached) and
+  // checkpoints always use the fp64 master weights; re-apply after updating
+  // weights. clone() preserves the setting.
+  void set_precision(Precision precision);
+  Precision precision() const noexcept { return precision_; }
+
   // --- inference (const) ---
 
   // Node embeddings Z from a dense weighted adjacency + RAW features.
@@ -153,6 +162,8 @@ class GnnClassifier {
   FeatureScaler scaler_;
   std::vector<GcnLayer> gcn_layers_;
   std::unique_ptr<Dense> readout_;
+  Precision precision_ = Precision::Fp64;
+  Matrix16 readout_w16_;  // packed readout weights when Bf16
 
   ThreadPool* kernel_pool_ = nullptr;
 

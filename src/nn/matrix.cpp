@@ -5,10 +5,22 @@
 #include <cstdio>
 #include <sstream>
 
+#include "nn/simd.hpp"
 #include "obs/metrics.hpp"
 
 namespace cfgx {
 namespace {
+
+// Per-ISA attribution for the dense matmul entry points: the aggregate
+// kernel.matmul.calls counter stays (dashboards depend on it), and the
+// .scalar/.avx2 split records which code path served the call.
+obs::Counter& matmul_isa_counter(simd::Isa isa) {
+  static obs::Counter& scalar =
+      obs::MetricsRegistry::global().counter("kernel.matmul.calls.scalar");
+  static obs::Counter& avx2 =
+      obs::MetricsRegistry::global().counter("kernel.matmul.calls.avx2");
+  return isa == simd::Isa::Avx2 ? avx2 : scalar;
+}
 
 [[noreturn]] void throw_shape(const char* op, const Matrix& a, const Matrix& b) {
   throw std::invalid_argument(std::string("Matrix ") + op + ": shape mismatch [" +
@@ -246,6 +258,16 @@ void matmul_block_rows(const Matrix& a, const Matrix& b, Matrix& out,
   }
 }
 
+void matmul_rows_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
+                          std::size_t row_begin, std::size_t row_end) {
+  if (simd::dispatch() == simd::Isa::Avx2) {
+    matmul_rows_avx2(a.data(), a.cols(), b.data(), b.cols(), out.data(),
+                     row_begin, row_end);
+  } else {
+    matmul_block_rows(a, b, out, row_begin, row_end);
+  }
+}
+
 }  // namespace detail
 
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -255,9 +277,10 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
   static obs::Histogram& seconds =
       obs::MetricsRegistry::global().histogram("kernel.matmul.seconds");
   calls.add();
+  matmul_isa_counter(simd::dispatch()).add();
   obs::ScopedDurationTimer timer(seconds);
   out.reshape(a.rows(), b.cols());
-  detail::matmul_block_rows(a, b, out, 0, a.rows());
+  detail::matmul_rows_dispatch(a, b, out, 0, a.rows());
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
@@ -278,10 +301,11 @@ void matmul_live_rows_into(const Matrix& a, const Matrix& b, Matrix& out,
   static obs::Histogram& seconds =
       obs::MetricsRegistry::global().histogram("kernel.matmul.seconds");
   calls.add();
+  matmul_isa_counter(simd::dispatch()).add();
   obs::ScopedDurationTimer timer(seconds);
   out.reshape(a.rows(), b.cols());
-  // Run the blocked kernel over maximal contiguous runs of live rows; the
-  // reshape above already left every masked row at exact zero.
+  // Run the dispatched kernel over maximal contiguous runs of live rows;
+  // the reshape above already left every masked row at exact zero.
   std::size_t i = 0;
   while (i < a.rows()) {
     if (row_live[i] == 0.0) {
@@ -290,7 +314,7 @@ void matmul_live_rows_into(const Matrix& a, const Matrix& b, Matrix& out,
     }
     std::size_t end = i + 1;
     while (end < a.rows() && row_live[end] != 0.0) ++end;
-    detail::matmul_block_rows(a, b, out, i, end);
+    detail::matmul_rows_dispatch(a, b, out, i, end);
     i = end;
   }
 }

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <new>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -15,6 +16,42 @@
 #include <vector>
 
 namespace cfgx {
+
+// Matrix heap blocks are 32-byte aligned (one AVX2 vector): the SIMD
+// kernels use unaligned loads and stay correct either way, but an aligned
+// base keeps vector loads from straddling cache lines on the common
+// power-of-two column counts. Note the guarantee covers data() only — row
+// starts are unaligned whenever cols % 4 != 0.
+inline constexpr std::size_t kMatrixAlignment = 32;
+
+// Minimal C++17 allocator carrying the over-aligned new/delete forms.
+template <typename T, std::size_t Alignment = kMatrixAlignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^n");
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
 
 class Matrix {
  public:
@@ -124,7 +161,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double, AlignedAllocator<double>> data_;
 };
 
 // --- destination-passing kernels (the allocation-free hot path) ---
@@ -132,10 +169,13 @@ class Matrix {
 // Each `_into` variant reshapes `out` to the result shape (zero-filling,
 // capacity-reusing — see Matrix::reshape) and overwrites it. `out` must not
 // alias `a` or `b`. The value-returning functions below are thin wrappers
-// and therefore bit-identical; both run the cache-blocked microkernel,
-// whose per-element accumulation order over k is the same strictly
-// increasing order as the naive i-k-j reference, so results match the
-// reference to the last bit (verified by the `prop` differential suites).
+// and therefore bit-identical; both run the ISA-dispatched microkernel
+// (simd.hpp), whose per-element accumulation order over k is the same
+// strictly increasing order as the naive i-k-j reference. Under the scalar
+// ISA results match the reference to the last bit (verified by the `prop`
+// differential suites); under AVX2 each step is FMA-contracted, with the
+// per-element difference bounded as documented in simd.hpp and pinned by
+// the `simd` differential suite.
 
 // C = A * B. Throws std::invalid_argument on inner-dimension mismatch.
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
@@ -168,6 +208,14 @@ void matmul_block_rows(const Matrix& a, const Matrix& b, Matrix& out,
 // micro benches. Bit-identical to matmul_block_rows by construction.
 void matmul_reference_rows(const Matrix& a, const Matrix& b, Matrix& out,
                            std::size_t row_begin, std::size_t row_end);
+
+// ISA-dispatched row kernel: the AVX2+FMA kernel when simd::dispatch()
+// selects it, else matmul_block_rows. Under AVX2 each element differs from
+// the scalar result only by FMA contraction (bound documented in
+// simd.hpp); within one ISA it is deterministic and shared by matmul_into,
+// matmul_live_rows_into and matmul_parallel.
+void matmul_rows_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
+                          std::size_t row_begin, std::size_t row_end);
 
 }  // namespace detail
 

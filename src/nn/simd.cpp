@@ -1,0 +1,96 @@
+#include "nn/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace cfgx::simd {
+namespace {
+
+// -1 = unresolved; otherwise a valid Isa enum value.
+std::atomic<int> g_active_isa{-1};
+std::mutex g_resolve_mutex;
+
+bool probe_avx2() noexcept {
+#if defined(CFGX_HAVE_AVX2_BUILD) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa resolve_from_environment() {
+  const char* env = std::getenv("CFGX_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const Isa requested = parse_isa(env);  // throws on unknown values
+    if (requested == Isa::Avx2 && !avx2_supported()) {
+      throw std::runtime_error(
+          "CFGX_SIMD=avx2: AVX2+FMA not supported on this host/build");
+    }
+    return requested;
+  }
+  return avx2_supported() ? Isa::Avx2 : Isa::Scalar;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Scalar:
+      break;
+  }
+  return "scalar";
+}
+
+Isa parse_isa(const std::string& value) {
+  if (value == "scalar") return Isa::Scalar;
+  if (value == "avx2") return Isa::Avx2;
+  throw std::invalid_argument("unknown SIMD ISA '" + value +
+                              "' (expected 'avx2' or 'scalar')");
+}
+
+bool avx2_supported() noexcept {
+  static const bool supported = probe_avx2();
+  return supported;
+}
+
+void record_isa_metric() {
+  const int active = g_active_isa.load(std::memory_order_relaxed);
+  obs::MetricsRegistry::global()
+      .gauge("kernels.isa")
+      .set(active < 0 ? 0 : active);
+}
+
+Isa dispatch() {
+  int active = g_active_isa.load(std::memory_order_relaxed);
+  if (active < 0) {
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    active = g_active_isa.load(std::memory_order_relaxed);
+    if (active < 0) {
+      // Resolution may throw (malformed CFGX_SIMD); the override stays
+      // unresolved so the error repeats on every kernel call instead of
+      // silently degrading.
+      const Isa resolved = resolve_from_environment();
+      active = static_cast<int>(resolved);
+      g_active_isa.store(active, std::memory_order_relaxed);
+      record_isa_metric();
+    }
+  }
+  return static_cast<Isa>(active);
+}
+
+void set_isa(Isa isa) {
+  if (isa == Isa::Avx2 && !avx2_supported()) {
+    throw std::runtime_error(
+        "simd::set_isa: AVX2+FMA not supported on this host/build");
+  }
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  record_isa_metric();
+}
+
+}  // namespace cfgx::simd

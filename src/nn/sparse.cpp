@@ -6,11 +6,22 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/simd.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cfgx {
 namespace {
+
+// Per-ISA attribution mirroring matrix.cpp: aggregate counters stay, the
+// .scalar/.avx2 split records the serving code path.
+obs::Counter& spmm_isa_counter(simd::Isa isa) {
+  static obs::Counter& scalar =
+      obs::MetricsRegistry::global().counter("kernel.spmm.calls.scalar");
+  static obs::Counter& avx2 =
+      obs::MetricsRegistry::global().counter("kernel.spmm.calls.avx2");
+  return isa == simd::Isa::Avx2 ? avx2 : scalar;
+}
 
 [[noreturn]] void throw_spmm_shape(const char* op, std::size_t a_rows,
                                    std::size_t a_cols, const Matrix& b) {
@@ -36,8 +47,8 @@ void parallel_ranges(ThreadPool& pool, std::size_t extent,
   });
 }
 
-void spmm_rows(const CsrMatrix& a, const Matrix& b, Matrix& out,
-               std::size_t row_begin, std::size_t row_end) {
+void spmm_rows_scalar(const CsrMatrix& a, const Matrix& b, Matrix& out,
+                      std::size_t row_begin, std::size_t row_end) {
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
@@ -49,6 +60,21 @@ void spmm_rows(const CsrMatrix& a, const Matrix& b, Matrix& out,
       const double* b_row = b.data() + col_idx[p] * n_cols;
       for (std::size_t j = 0; j < n_cols; ++j) out_row[j] += v * b_row[j];
     }
+  }
+}
+
+// ISA-dispatched CSR row loop. Per output element both implementations
+// accumulate the row's nonzeros in ascending-p order (the scalar loop is
+// p-outer / j-inner, the AVX2 one j-outer / p-inner — same per-element
+// sequence), so they differ only by FMA contraction (bound in simd.hpp).
+void spmm_rows(const CsrMatrix& a, const Matrix& b, Matrix& out,
+               std::size_t row_begin, std::size_t row_end) {
+  if (simd::dispatch() == simd::Isa::Avx2) {
+    detail::spmm_rows_avx2(a.row_ptr().data(), a.col_idx().data(),
+                           a.values().data(), b.data(), b.cols(), out.data(),
+                           row_begin, row_end);
+  } else {
+    spmm_rows_scalar(a, b, out, row_begin, row_end);
   }
 }
 
@@ -214,6 +240,7 @@ void spmm_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
   static obs::Histogram& seconds =
       obs::MetricsRegistry::global().histogram("kernel.spmm.seconds");
   calls.add();
+  spmm_isa_counter(simd::dispatch()).add();
   obs::ScopedDurationTimer timer(seconds);
   out.reshape(a.rows(), b.cols());
   if (pool != nullptr && a.rows() > 1) {
@@ -243,6 +270,7 @@ void spmm_live_rows_into(const CsrMatrix& a, const Matrix& b, Matrix& out,
   static obs::Histogram& seconds =
       obs::MetricsRegistry::global().histogram("kernel.spmm.seconds");
   calls.add();
+  spmm_isa_counter(simd::dispatch()).add();
   obs::ScopedDurationTimer timer(seconds);
   out.reshape(a.rows(), b.cols());
   const auto live_rows = [&](std::size_t begin, std::size_t end) {
@@ -297,7 +325,7 @@ void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& out,
   obs::ScopedDurationTimer timer(seconds);
   out.reshape(a.rows(), b.cols());
   parallel_ranges(pool, a.rows(), [&](std::size_t begin, std::size_t end) {
-    detail::matmul_block_rows(a, b, out, begin, end);
+    detail::matmul_rows_dispatch(a, b, out, begin, end);
   });
 }
 

@@ -80,6 +80,11 @@ ExplanationEngine::ExplanationEngine(const GnnClassifier& gnn,
   if (config_.max_batch == 0) {
     throw std::invalid_argument("ExplanationEngine: max_batch must be > 0");
   }
+  if (config_.precision != Precision::Fp64) {
+    owned_gnn_ = std::make_unique<GnnClassifier>(gnn.clone());
+    owned_gnn_->set_precision(config_.precision);
+    gnn_ = owned_gnn_.get();
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 

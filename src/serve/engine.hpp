@@ -49,6 +49,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -79,6 +80,11 @@ struct ServeConfig {
   std::size_t max_batch = 8;
   // Workers for the explainer fan-out (0 = hardware concurrency).
   std::size_t explain_workers = 0;
+  // Inference precision for the batched forward pass. Bf16 makes the
+  // engine serve from its own precision-set clone of the borrowed GNN
+  // (packed bf16 weights, fp32 accumulation — see matrix16.hpp); the
+  // caller's model is untouched and the explainers still see it.
+  Precision precision = Precision::Fp64;
 };
 
 struct ExplanationResponse {
@@ -140,6 +146,8 @@ class ExplanationEngine {
   void finish(Request& request, ExplanationResponse response);
 
   const GnnClassifier* gnn_;
+  // Precision-set clone backing gnn_ when config_.precision != Fp64.
+  std::unique_ptr<GnnClassifier> owned_gnn_;
   ExplainerFactory factory_;
   ServeConfig config_;
   ThreadPool explain_pool_;

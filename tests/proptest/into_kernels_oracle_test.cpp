@@ -4,6 +4,12 @@
 // Algorithm 2 must reproduce the densify-and-renormalize reference after
 // arbitrary prune sequences; and repeated interpret() calls recycling the
 // thread-local Workspace must stay deterministic and allocation-free.
+//
+// The bitwise-vs-naive-reference oracles force the SCALAR ISA (ScopedIsa):
+// only the scalar blocked kernel promises bit-equality with the reference.
+// The AVX2-vs-scalar relationship (FMA-contracted, bounded) is pinned by
+// simd_oracle_test.cpp. Every cross-VARIANT oracle below runs under the
+// dispatched default on purpose — those identities must hold per ISA.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +23,7 @@
 #include "dataset/generator.hpp"
 #include "gnn/classifier.hpp"
 #include "graph/ops.hpp"
+#include "nn/simd.hpp"
 #include "nn/sparse.hpp"
 #include "nn/workspace.hpp"
 #include "obs/metrics.hpp"
@@ -86,6 +93,7 @@ Gen<MatmulCase> matmul_cases(std::size_t max_dim) {
 }
 
 TEST(IntoKernelsOracle, BlockedMatmulBitIdenticalToNaiveReference) {
+  simd::ScopedIsa force_scalar(simd::Isa::Scalar);
   ThreadPool pool(4);
   Matrix out;  // reused across iterations: dirty-destination path included
   CHECK_PROPERTY(
@@ -131,6 +139,7 @@ TEST(IntoKernelsOracle, TransposeAndSparseIntoKernelsBitIdenticalToWrappers) {
 // Fixed shapes that straddle the kBlockK = 64 / kBlockN = 256 tile edges
 // and the 2-row / 4-column unroll remainders.
 TEST(IntoKernelsOracle, BlockBoundaryShapesMatchReference) {
+  simd::ScopedIsa force_scalar(simd::Isa::Scalar);
   Rng rng(2026);
   const std::size_t shapes[][3] = {{1, 64, 256},  {2, 65, 257}, {3, 128, 1},
                                    {130, 3, 300}, {5, 1, 5},    {64, 64, 64},

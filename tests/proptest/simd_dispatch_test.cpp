@@ -1,0 +1,142 @@
+// Dispatch machinery tests (DESIGN.md decision 14): ISA parsing, the
+// set_isa/ScopedIsa override surface, the `kernels.isa` observability
+// gauge, per-ISA call counters, and determinism within one ISA. The
+// CFGX_SIMD environment override itself resolves once per process before
+// any test can intervene, so its end-to-end behaviour (scalar-forced run,
+// unknown value rejected) is pinned by the CI scalar job leg rather than
+// in-process here; parse_isa below is the exact function that validates it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/matrix.hpp"
+#include "nn/simd.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace cfgx {
+namespace {
+
+TEST(SimdDispatch, IsaNamesRoundTrip) {
+  EXPECT_STREQ(simd::isa_name(simd::Isa::Scalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::Avx2), "avx2");
+  EXPECT_EQ(simd::parse_isa("scalar"), simd::Isa::Scalar);
+  EXPECT_EQ(simd::parse_isa("avx2"), simd::Isa::Avx2);
+}
+
+TEST(SimdDispatch, UnknownIsaValuesErrorCleanly) {
+  EXPECT_THROW(simd::parse_isa(""), std::invalid_argument);
+  EXPECT_THROW(simd::parse_isa("AVX2"), std::invalid_argument);
+  EXPECT_THROW(simd::parse_isa("avx512"), std::invalid_argument);
+  EXPECT_THROW(simd::parse_isa("sse4.2"), std::invalid_argument);
+  EXPECT_THROW(simd::parse_isa(" scalar"), std::invalid_argument);
+}
+
+TEST(SimdDispatch, SetIsaForcesScalarFallback) {
+  const simd::Isa original = simd::dispatch();
+  simd::set_isa(simd::Isa::Scalar);
+  EXPECT_EQ(simd::dispatch(), simd::Isa::Scalar);
+  simd::set_isa(original);
+  EXPECT_EQ(simd::dispatch(), original);
+}
+
+TEST(SimdDispatch, SetIsaRejectsUnsupportedIsa) {
+  if (simd::avx2_supported()) {
+    GTEST_SKIP() << "host supports AVX2; the rejection path is unreachable";
+  }
+  EXPECT_THROW(simd::set_isa(simd::Isa::Avx2), std::runtime_error);
+  EXPECT_EQ(simd::dispatch(), simd::Isa::Scalar);
+}
+
+TEST(SimdDispatch, ScopedIsaRestoresPreviousIsa) {
+  const simd::Isa original = simd::dispatch();
+  {
+    simd::ScopedIsa forced(simd::Isa::Scalar);
+    EXPECT_EQ(simd::dispatch(), simd::Isa::Scalar);
+    if (simd::avx2_supported()) {
+      simd::ScopedIsa nested(simd::Isa::Avx2);
+      EXPECT_EQ(simd::dispatch(), simd::Isa::Avx2);
+    }
+    EXPECT_EQ(simd::dispatch(), simd::Isa::Scalar);
+  }
+  EXPECT_EQ(simd::dispatch(), original);
+}
+
+TEST(SimdDispatch, ActiveIsaRecordedInKernelsIsaGauge) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  obs::Gauge& gauge = obs::MetricsRegistry::global().gauge("kernels.isa");
+
+  const simd::Isa original = simd::dispatch();
+  simd::set_isa(simd::Isa::Scalar);
+  EXPECT_EQ(gauge.value(), 0.0);
+  if (simd::avx2_supported()) {
+    simd::set_isa(simd::Isa::Avx2);
+    EXPECT_EQ(gauge.value(), 1.0);
+  }
+  simd::set_isa(original);
+  EXPECT_EQ(gauge.value(), static_cast<double>(original));
+
+  obs::set_metrics_enabled(was_enabled);
+}
+
+TEST(SimdDispatch, PerIsaCallCountersAttributeKernelCalls) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+
+  Rng rng(31);
+  Matrix a(6, 5), b(5, 7), out;
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform(-1, 1);
+
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& scalar_calls = registry.counter("kernel.matmul.calls.scalar");
+  obs::Counter& avx2_calls = registry.counter("kernel.matmul.calls.avx2");
+
+  {
+    simd::ScopedIsa forced(simd::Isa::Scalar);
+    const std::uint64_t before = scalar_calls.value();
+    matmul_into(a, b, out);
+    EXPECT_EQ(scalar_calls.value(), before + 1);
+  }
+  if (simd::avx2_supported()) {
+    simd::ScopedIsa forced(simd::Isa::Avx2);
+    const std::uint64_t before = avx2_calls.value();
+    matmul_into(a, b, out);
+    EXPECT_EQ(avx2_calls.value(), before + 1);
+  }
+
+  obs::set_metrics_enabled(was_enabled);
+}
+
+// Same seed, same ISA -> the same bits, run to run. (Cross-ISA equality is
+// deliberately NOT promised; the simd_oracle suite bounds that difference.)
+TEST(SimdDispatch, DeterministicWithinOneIsa) {
+  const auto run = [](simd::Isa isa, Matrix& out) {
+    simd::ScopedIsa forced(isa);
+    Rng rng(1234);
+    Matrix a(9, 11), b(11, 13);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] = rng.uniform(-2, 2);
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b.data()[i] = rng.uniform(-2, 2);
+    }
+    matmul_into(a, b, out);
+  };
+  for (simd::Isa isa : {simd::Isa::Scalar, simd::Isa::Avx2}) {
+    if (isa == simd::Isa::Avx2 && !simd::avx2_supported()) continue;
+    Matrix first, second;
+    run(isa, first);
+    run(isa, second);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(std::memcmp(first.data(), second.data(),
+                          first.size() * sizeof(double)),
+              0)
+        << "non-deterministic result under " << simd::isa_name(isa);
+  }
+}
+
+}  // namespace
+}  // namespace cfgx
