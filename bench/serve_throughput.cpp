@@ -17,17 +17,29 @@
 //   --batch=N       engine max batch size     (default 8)
 //   --workers=N     explainer pool workers    (default hardware)
 //   --fast          quarter-size run (smoke)
+// Telemetry (live-observability demo / CI artifacts):
+//   --admin-port=N          serve /metrics, /healthz, /statusz on
+//                           127.0.0.1:N (0 = ephemeral; bound port goes
+//                           to stderr). Default: disabled.
+//   --exporter-out=PATH     append windowed metric deltas as JSONL
+//   --exporter-interval-ms=N  exporter sampling period (default 1000)
+//   --slow-ms=N             capture slow-request exemplars above N ms
+//   --linger-seconds=N      keep the engine (and admin endpoint) alive N
+//                           seconds after the measured round, for
+//                           interactive scraping
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dataset/corpus.hpp"
+#include "obs/exporter.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/engine.hpp"
@@ -61,6 +73,15 @@ int run(const CliArgs& args) {
   serve_config.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
   serve_config.explain_workers =
       static_cast<std::size_t>(args.get_int("workers", 0));
+  if (args.has("admin-port")) {
+    serve_config.admin_port = static_cast<int>(args.get_int("admin-port", 0));
+  }
+  serve_config.slow_request_threshold_seconds =
+      args.get_double("slow-ms", 0.0) / 1000.0;
+  const std::string exporter_out = args.get_string("exporter-out", "");
+  const std::int64_t exporter_interval_ms =
+      args.get_int("exporter-interval-ms", 1000);
+  const double linger_seconds = args.get_double("linger-seconds", 0.0);
 
   obs::set_metrics_enabled(true);
 
@@ -83,6 +104,10 @@ int run(const CliArgs& args) {
   serve::ExplanationEngine engine(
       gnn, serve::make_cfg_explainer_factory(gnn, std::move(theta)),
       serve_config);
+  if (serve_config.admin_port >= 0) {
+    std::cerr << "serve_throughput: admin endpoint on 127.0.0.1:"
+              << engine.admin_port() << "\n";
+  }
 
   std::mutex totals_mutex;
   ClientTotals totals;
@@ -135,20 +160,55 @@ int run(const CliArgs& args) {
     for (std::thread& t : client_threads) t.join();
   };
 
-  // Warm-up: one untimed round with the full concurrent mix primes the
+  // Warm-up: untimed rounds with the full concurrent mix prime the
   // workspace pools (dispatcher + explainer workers) at load-shaped batch
-  // sizes, so the measured round shows the steady state.
-  run_round(/*record=*/false);
-
+  // sizes. One round is usually enough, but worker scheduling is
+  // nondeterministic — a worker that missed the largest graph shape in
+  // round one still grows its pool later — so repeat until a whole round
+  // allocates nothing fresh (bounded, in case trim_after aging keeps
+  // recycling pools).
   obs::Counter& ws_allocated =
       obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+  // Two CONSECUTIVE zero-allocation rounds required: batch packing is
+  // timing-dependent, so a single quiet round can still precede a fresh
+  // high-water batch shape in the next one.
+  std::size_t warmup_rounds = 0;
+  std::size_t zero_rounds = 0;
+  while (warmup_rounds < 8 && zero_rounds < 2) {
+    const std::uint64_t before = ws_allocated.value();
+    run_round(/*record=*/false);
+    ++warmup_rounds;
+    zero_rounds = ws_allocated.value() == before ? zero_rounds + 1 : 0;
+  }
+
+  // The measured round starts from a clean registry so serve_metrics (and
+  // any exporter/admin scrape) describe steady-state traffic only, not the
+  // warm-up rounds mixed in.
+  obs::MetricsRegistry::global().reset();
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!exporter_out.empty()) {
+    obs::ExporterConfig exporter_config;
+    exporter_config.interval = std::chrono::milliseconds(exporter_interval_ms);
+    exporter_config.path = exporter_out;
+    exporter = std::make_unique<obs::MetricsExporter>(
+        obs::MetricsRegistry::global(), exporter_config);
+  }
+
   const std::uint64_t ws_allocated_before = ws_allocated.value();
 
   const Clock::time_point start = Clock::now();
   run_round(/*record=*/true);
   const double wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (linger_seconds > 0.0) {
+    std::cerr << "serve_throughput: lingering " << linger_seconds
+              << "s (scrape the admin endpoint now)\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_seconds));
+  }
+  const std::vector<serve::SlowRequestExemplar> slow = engine.slow_exemplars();
   engine.stop();
+  if (exporter) exporter->stop();
   const std::uint64_t ws_allocated_delta =
       ws_allocated.value() - ws_allocated_before;
 
@@ -167,6 +227,7 @@ int run(const CliArgs& args) {
              static_cast<std::uint64_t>(serve_config.explain_workers));
   json.field("distinct_graphs", static_cast<std::uint64_t>(corpus.size()));
   json.field("fast", fast);
+  json.field("warmup_rounds", static_cast<std::uint64_t>(warmup_rounds));
   json.end_object();
 
   json.key("totals").begin_object();
@@ -195,6 +256,25 @@ int run(const CliArgs& args) {
   json.key("workspace").begin_object();
   json.field("bytes_allocated_delta", ws_allocated_delta);
   json.end_object();
+
+  // Slow-request exemplars (empty unless --slow-ms was set and tripped).
+  json.key("slow_requests").begin_array();
+  for (const serve::SlowRequestExemplar& s : slow) {
+    json.begin_object();
+    json.field("request_id", s.request_id);
+    json.field("status", serve::to_string(s.status));
+    json.field("queue_seconds", s.queue_seconds);
+    json.field("total_seconds", s.total_seconds);
+    json.field("predicted_class", static_cast<std::uint64_t>(s.predicted_class));
+    json.field("confidence", s.confidence);
+    json.key("top_nodes").begin_array();
+    for (std::uint32_t node : s.top_nodes) {
+      json.value(static_cast<std::uint64_t>(node));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
 
   // Engine-side view from the metrics registry (queue histograms etc.).
   json.key("serve_metrics").begin_object();

@@ -1,0 +1,208 @@
+#include "obs/exporter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace cfgx::obs {
+namespace {
+
+std::int64_t wall_unix_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Sorted-vector lookup helpers: both snapshots iterate sorted by name, so
+// a linear merge would do; binary search keeps the code obvious.
+template <typename Pair>
+const Pair* find_by_name(const std::vector<Pair>& entries,
+                         const std::string& name) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Pair& entry, const std::string& key) { return entry.first < key; });
+  if (it == entries.end() || it->first != name) return nullptr;
+  return &*it;
+}
+
+const HistogramStats* find_histogram(const std::vector<HistogramStats>& entries,
+                                     const std::string& name) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const HistogramStats& entry, const std::string& key) {
+        return entry.name < key;
+      });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+MetricsWindow diff_snapshots(const MetricsSnapshot& previous,
+                             const MetricsSnapshot& current,
+                             double interval_seconds) {
+  MetricsWindow window;
+  window.interval_seconds = interval_seconds;
+
+  window.counters.reserve(current.counters.size());
+  for (const auto& [name, value] : current.counters) {
+    const auto* prev = find_by_name(previous.counters, name);
+    const std::uint64_t before = prev != nullptr ? prev->second : 0;
+    WindowedCounter wc;
+    wc.name = name;
+    // Counters are monotone; a snapshot pair can still invert if the
+    // registry was reset between them — clamp instead of underflowing.
+    wc.delta = value >= before ? value - before : value;
+    wc.rate_per_second = interval_seconds > 0.0
+                             ? static_cast<double>(wc.delta) / interval_seconds
+                             : 0.0;
+    window.counters.push_back(std::move(wc));
+  }
+
+  window.gauges = current.gauges;
+
+  window.histograms.reserve(current.histograms.size());
+  for (const HistogramStats& h : current.histograms) {
+    const HistogramStats* prev = find_histogram(previous.histograms, h.name);
+    WindowedHistogram wh;
+    wh.name = h.name;
+    wh.count_delta =
+        prev != nullptr && h.count >= prev->count ? h.count - prev->count
+                                                  : h.count;
+    wh.sum_delta =
+        prev != nullptr && h.sum >= prev->sum ? h.sum - prev->sum : h.sum;
+    std::vector<std::uint64_t> bucket_delta = h.buckets;
+    if (prev != nullptr && prev->buckets.size() == bucket_delta.size()) {
+      for (std::size_t i = 0; i < bucket_delta.size(); ++i) {
+        const std::uint64_t before = prev->buckets[i];
+        bucket_delta[i] = bucket_delta[i] >= before
+                              ? bucket_delta[i] - before
+                              : bucket_delta[i];
+      }
+    }
+    if (!bucket_delta.empty()) {
+      wh.p50 = Histogram::quantile_from_buckets(bucket_delta, 0.50);
+      wh.p95 = Histogram::quantile_from_buckets(bucket_delta, 0.95);
+      wh.p99 = Histogram::quantile_from_buckets(bucket_delta, 0.99);
+    }
+    window.histograms.push_back(std::move(wh));
+  }
+  return window;
+}
+
+void MetricsWindow::write_json(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.field("schema", "cfgx.metrics.window.v1");
+  writer.field("t_unix_ms", wall_unix_ms);
+  writer.field("interval_seconds", interval_seconds);
+  writer.key("counters").begin_object();
+  for (const WindowedCounter& c : counters) {
+    writer.key(c.name).begin_object();
+    writer.field("delta", c.delta);
+    writer.field("rate_per_second", c.rate_per_second);
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) writer.field(name, value);
+  writer.end_object();
+  writer.key("histograms").begin_object();
+  for (const WindowedHistogram& h : histograms) {
+    writer.key(h.name).begin_object();
+    writer.field("count_delta", h.count_delta);
+    writer.field("sum_delta", h.sum_delta);
+    writer.field("p50", h.p50);
+    writer.field("p95", h.p95);
+    writer.field("p99", h.p99);
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+}
+
+std::string MetricsWindow::json() const {
+  JsonWriter writer;
+  write_json(writer);
+  return writer.str();
+}
+
+MetricsExporter::MetricsExporter(MetricsRegistry& registry,
+                                 ExporterConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  if (!config_.path.empty()) {
+    sink_.open(config_.path, std::ios::out | std::ios::app);
+    if (!sink_) {
+      throw std::runtime_error("MetricsExporter: cannot open " + config_.path);
+    }
+  }
+  previous_ = registry_.snapshot();
+  previous_time_ = std::chrono::steady_clock::now();
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+MetricsWindow MetricsExporter::sample_locked() {
+  MetricsSnapshot current = registry_.snapshot();
+  const auto now = std::chrono::steady_clock::now();
+  MetricsWindow window = diff_snapshots(
+      previous_, current,
+      std::chrono::duration<double>(now - previous_time_).count());
+  window.wall_unix_ms = wall_unix_ms_now();
+  previous_ = std::move(current);
+  previous_time_ = now;
+  if (sink_.is_open()) {
+    sink_ << window.json() << '\n';
+    sink_.flush();  // a scraper may tail the file while we run
+  }
+  if (config_.keep_windows > 0) {
+    recent_.push_back(window);
+    while (recent_.size() > config_.keep_windows) recent_.pop_front();
+  }
+  ++windows_sampled_;
+  return window;
+}
+
+MetricsWindow MetricsExporter::sample_now() {
+  std::lock_guard lock(sample_mutex_);
+  return sample_locked();
+}
+
+std::vector<MetricsWindow> MetricsExporter::recent_windows() const {
+  std::lock_guard lock(sample_mutex_);
+  return {recent_.begin(), recent_.end()};
+}
+
+std::uint64_t MetricsExporter::windows_sampled() const {
+  std::lock_guard lock(sample_mutex_);
+  return windows_sampled_;
+}
+
+void MetricsExporter::sampler_loop() {
+  std::unique_lock lock(stop_mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, config_.interval, [&] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void MetricsExporter::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  // Tail flush: whatever accumulated since the last periodic tick becomes
+  // the final window instead of silently vanishing.
+  sample_now();
+}
+
+}  // namespace cfgx::obs

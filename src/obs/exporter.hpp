@@ -1,0 +1,144 @@
+// Background metrics exporter: periodic snapshots of the registry turned
+// into *windowed deltas* and appended as a JSONL time series.
+//
+// The PR-3 obs stack is pull-at-exit: a manifest snapshots cumulative
+// totals once, when the process finishes. A long-running server needs the
+// opposite view — what happened in the LAST N seconds — so the exporter
+// thread samples the registry every `interval`, diffs each sample against
+// the previous one, and emits one MetricsWindow per tick:
+//
+//   * counters: delta over the window plus a per-second rate;
+//   * gauges: the point-in-time value (gauges are already instantaneous);
+//   * histograms: count/sum deltas plus INTERVAL percentiles computed from
+//     the bucket-count diff between the two snapshots
+//     (Histogram::quantile_from_buckets) — the p50/p95/p99 of only the
+//     samples recorded during this window, which cumulative histogram
+//     stats can never recover once the distribution drifts.
+//
+// Consistency under concurrent mutation: every counter and bucket is a
+// monotone relaxed atomic, so each individual delta is exact for its cell;
+// a histogram's count/sum/bucket cells are read without a barrier and may
+// disagree by the handful of records in flight during the snapshot.
+// Windowed percentiles therefore normalize by the bucket-diff total (not
+// the count delta), and no delta is ever negative. Metrics that first
+// appear mid-flight diff against zero.
+//
+// The sampler thread holds no lock while serving traffic runs — it costs
+// one registry snapshot per tick. stop() takes a final sample so the tail
+// window is never lost, then joins; the destructor calls stop().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cfgx::obs {
+
+class JsonWriter;
+
+struct WindowedCounter {
+  std::string name;
+  std::uint64_t delta = 0;
+  double rate_per_second = 0.0;
+};
+
+struct WindowedHistogram {
+  std::string name;
+  std::uint64_t count_delta = 0;
+  double sum_delta = 0.0;
+  // Interval percentiles from the bucket-count diff; 0 when the window
+  // recorded nothing.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// One exporter tick. Sections are sorted by metric name (inherited from
+// MetricsSnapshot), so the JSONL stream is deterministic given the data.
+struct MetricsWindow {
+  // Wall-clock stamp of the sample (for the JSONL consumer's x-axis).
+  std::int64_t wall_unix_ms = 0;
+  // Measured (steady-clock) seconds since the previous sample.
+  double interval_seconds = 0.0;
+  std::vector<WindowedCounter> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<WindowedHistogram> histograms;
+
+  // {"schema":"cfgx.metrics.window.v1","t_unix_ms":...,...}
+  void write_json(JsonWriter& writer) const;
+  std::string json() const;
+};
+
+// Diff two snapshots taken `interval_seconds` apart. Exposed for tests
+// and for one-shot consumers; the exporter thread is this plus a timer.
+MetricsWindow diff_snapshots(const MetricsSnapshot& previous,
+                             const MetricsSnapshot& current,
+                             double interval_seconds);
+
+struct ExporterConfig {
+  std::chrono::milliseconds interval{1000};
+  // JSONL output path, appended one window per line; empty keeps windows
+  // in memory only (recent_windows()).
+  std::string path;
+  // Ring of recent windows retained for in-process consumers (/statusz,
+  // tests). 0 keeps none.
+  std::size_t keep_windows = 64;
+};
+
+class MetricsExporter {
+ public:
+  // Takes the first (baseline) snapshot immediately; windows start
+  // accumulating from construction, and the sampler thread starts at
+  // once. Throws std::runtime_error when `path` cannot be opened.
+  MetricsExporter(MetricsRegistry& registry, ExporterConfig config);
+  ~MetricsExporter();  // stop()
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  // Cuts a window NOW (thread-safe; the periodic thread and manual calls
+  // serialize) and returns it. Tests drive the exporter with this instead
+  // of sleeping through intervals.
+  MetricsWindow sample_now();
+
+  // Most recent windows, oldest first (bounded by keep_windows).
+  std::vector<MetricsWindow> recent_windows() const;
+
+  std::uint64_t windows_sampled() const;
+
+  // Final sample + join; idempotent.
+  void stop();
+
+  const ExporterConfig& config() const noexcept { return config_; }
+
+ private:
+  void sampler_loop();
+  MetricsWindow sample_locked();  // requires sample_mutex_
+
+  MetricsRegistry& registry_;
+  ExporterConfig config_;
+
+  mutable std::mutex sample_mutex_;  // previous snapshot + sink + ring
+  MetricsSnapshot previous_;
+  std::chrono::steady_clock::time_point previous_time_;
+  std::ofstream sink_;
+  std::deque<MetricsWindow> recent_;
+  std::uint64_t windows_sampled_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace cfgx::obs

@@ -1,0 +1,86 @@
+#include "obs/exposition.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cfgx::obs {
+namespace {
+
+// Shortest round-trip formatting, so goldens don't depend on a fixed
+// precision padding ("0.5" stays "0.5", not "0.50000000000000000").
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // The exposition format spells these out (unlike JSON).
+    out += std::isnan(value) ? "NaN" : (value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc()) {
+    out.append(buf, ptr);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+  }
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   std::string_view labels, double value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  append_double(out, value);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "counter");
+    append_sample(out, prom, "", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "gauge");
+    append_sample(out, prom, "", value);
+  }
+  for (const HistogramStats& h : snapshot.histograms) {
+    const std::string prom = prometheus_name(h.name);
+    append_type(out, prom, "summary");
+    append_sample(out, prom, "{quantile=\"0.5\"}", h.p50);
+    append_sample(out, prom, "{quantile=\"0.95\"}", h.p95);
+    append_sample(out, prom, "{quantile=\"0.99\"}", h.p99);
+    append_sample(out, prom + "_sum", "", h.sum);
+    append_sample(out, prom + "_count", "", static_cast<double>(h.count));
+  }
+  return out;
+}
+
+}  // namespace cfgx::obs

@@ -1,0 +1,37 @@
+// Prometheus text-exposition rendering of a MetricsSnapshot.
+//
+// render_prometheus() turns any snapshot — live registry state scraped by
+// the admin endpoint, or a saved one in a test — into the Prometheus
+// text format (version 0.0.4): one `# TYPE` line per metric family
+// followed by its samples. Counters and gauges map directly; histograms
+// are rendered as Prometheus *summaries* (pre-computed p50/p95/p99
+// quantile samples plus `_sum` and `_count`), because the registry's
+// log-spaced buckets already condense to exact-enough quantiles and a
+// summary keeps the scrape payload small and schema-stable.
+//
+// Metric names are sanitized (prometheus_name): every character outside
+// [a-zA-Z0-9_:] becomes '_' (so "serve.queue_depth" scrapes as
+// "serve_queue_depth") and a leading digit gains a '_' prefix. Sanitized
+// names can collide; the renderer keeps first-wins order within each
+// section, which is deterministic because snapshots are sorted by name.
+//
+// Output is byte-deterministic for a given snapshot (fixed section order
+// counters < gauges < histograms, sorted names inside each, shortest
+// round-trip double formatting) — the property the golden-file tests pin.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cfgx::obs {
+
+// "serve.request_latency_seconds" -> "serve_request_latency_seconds".
+std::string prometheus_name(std::string_view name);
+
+// The full text-exposition document; ends with a trailing newline as the
+// format requires.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace cfgx::obs

@@ -1,0 +1,199 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace cfgx::obs {
+namespace {
+
+void write_objective(JsonWriter& writer, const SloObjectiveStatus& objective) {
+  writer.begin_object();
+  writer.field("burn_short", objective.short_window.burn);
+  writer.field("burn_long", objective.long_window.burn);
+  writer.field("total_short", objective.short_window.total);
+  writer.field("bad_short", objective.short_window.bad);
+  writer.field("total_long", objective.long_window.total);
+  writer.field("bad_long", objective.long_window.bad);
+  writer.field("alerting", objective.alerting);
+  writer.end_object();
+}
+
+}  // namespace
+
+void SloStatus::write_json(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.key("availability");
+  write_objective(writer, availability);
+  writer.key("latency");
+  write_objective(writer, latency);
+  writer.end_object();
+}
+
+std::string SloStatus::json() const {
+  JsonWriter writer;
+  write_json(writer);
+  return writer.str();
+}
+
+SloTracker::SloTracker(SloConfig config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.short_window.count() <= 0 ||
+      config_.long_window < config_.short_window) {
+    throw std::invalid_argument(
+        "SloTracker: need 0 < short_window <= long_window");
+  }
+  if (!(config_.availability_objective > 0.0 &&
+        config_.availability_objective < 1.0) ||
+      !(config_.latency_target_ratio > 0.0 &&
+        config_.latency_target_ratio < 1.0)) {
+    throw std::invalid_argument("SloTracker: objectives must be in (0, 1)");
+  }
+  ring_.resize(static_cast<std::size_t>(config_.long_window.count()));
+}
+
+double SloTracker::steady_now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SloTracker::record(bool ok, double latency_seconds) {
+  record(ok, latency_seconds, steady_now_seconds());
+}
+
+void SloTracker::record(bool ok, double latency_seconds, double now_seconds) {
+  SloStatus crossing_check;
+  bool check_transitions = false;
+  {
+    std::lock_guard lock(mutex_);
+    const std::int64_t second =
+        std::max(latest_second_, static_cast<std::int64_t>(
+                                     std::floor(std::max(0.0, now_seconds))));
+    latest_second_ = second;
+    Cell& cell = ring_[static_cast<std::size_t>(
+        second % static_cast<std::int64_t>(ring_.size()))];
+    if (cell.second != second) {
+      cell = Cell{};
+      cell.second = second;
+    }
+    ++cell.total;
+    if (!ok) ++cell.unavailable;
+    if (latency_seconds > config_.latency_objective_seconds) ++cell.slow;
+    // Evaluate alert transitions on the bad events only — a healthy
+    // request can end an alert at the next status() pull instead.
+    if (!ok || latency_seconds > config_.latency_objective_seconds ||
+        availability_alerting_ || latency_alerting_) {
+      crossing_check.availability.short_window =
+          burn_locked(second, config_.short_window.count(), false);
+      crossing_check.availability.long_window =
+          burn_locked(second, config_.long_window.count(), false);
+      crossing_check.latency.short_window =
+          burn_locked(second, config_.short_window.count(), true);
+      crossing_check.latency.long_window =
+          burn_locked(second, config_.long_window.count(), true);
+      check_transitions = true;
+    }
+  }
+  if (check_transitions) maybe_log_transitions(crossing_check);
+}
+
+BurnRate SloTracker::burn_locked(std::int64_t now_second,
+                                 std::int64_t window_seconds,
+                                 bool latency_objective) const {
+  BurnRate rate;
+  const std::int64_t size = static_cast<std::int64_t>(ring_.size());
+  const std::int64_t span = std::min(window_seconds, size);
+  for (std::int64_t s = now_second - span + 1; s <= now_second; ++s) {
+    if (s < 0) continue;
+    const Cell& cell = ring_[static_cast<std::size_t>(s % size)];
+    if (cell.second != s) continue;  // stale or never filled
+    rate.total += cell.total;
+    rate.bad += latency_objective ? cell.slow : cell.unavailable;
+  }
+  if (rate.total == 0) return rate;
+  const double objective = latency_objective ? config_.latency_target_ratio
+                                             : config_.availability_objective;
+  const double budget = 1.0 - objective;
+  const double bad_fraction =
+      static_cast<double>(rate.bad) / static_cast<double>(rate.total);
+  rate.burn = bad_fraction / budget;
+  return rate;
+}
+
+SloStatus SloTracker::status() const {
+  return status(steady_now_seconds());
+}
+
+SloStatus SloTracker::status(double now_seconds) const {
+  SloStatus out;
+  std::lock_guard lock(mutex_);
+  const std::int64_t second =
+      std::max(latest_second_, static_cast<std::int64_t>(
+                                   std::floor(std::max(0.0, now_seconds))));
+  out.availability.short_window =
+      burn_locked(second, config_.short_window.count(), false);
+  out.availability.long_window =
+      burn_locked(second, config_.long_window.count(), false);
+  out.latency.short_window =
+      burn_locked(second, config_.short_window.count(), true);
+  out.latency.long_window =
+      burn_locked(second, config_.long_window.count(), true);
+  out.availability.alerting =
+      out.availability.short_window.burn >= config_.burn_alert_threshold &&
+      out.availability.long_window.burn >= config_.burn_alert_threshold;
+  out.latency.alerting =
+      out.latency.short_window.burn >= config_.burn_alert_threshold &&
+      out.latency.long_window.burn >= config_.burn_alert_threshold;
+  return out;
+}
+
+void SloTracker::maybe_log_transitions(const SloStatus& status) {
+  const bool availability_now =
+      status.availability.short_window.burn >= config_.burn_alert_threshold &&
+      status.availability.long_window.burn >= config_.burn_alert_threshold;
+  const bool latency_now =
+      status.latency.short_window.burn >= config_.burn_alert_threshold &&
+      status.latency.long_window.burn >= config_.burn_alert_threshold;
+  bool log_availability = false;
+  bool log_latency = false;
+  bool availability_state = false;
+  bool latency_state = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (availability_now != availability_alerting_) {
+      availability_alerting_ = availability_now;
+      log_availability = true;
+      availability_state = availability_now;
+    }
+    if (latency_now != latency_alerting_) {
+      latency_alerting_ = latency_now;
+      log_latency = true;
+      latency_state = latency_now;
+    }
+  }
+  const auto emit = [&](const char* objective, bool now_alerting,
+                        const SloObjectiveStatus& o) {
+    std::ostringstream message;
+    message << "slo " << objective << " burn "
+            << (now_alerting ? "CROSSED" : "recovered")
+            << ": short=" << o.short_window.burn
+            << " long=" << o.long_window.burn
+            << " threshold=" << config_.burn_alert_threshold;
+    if (config_.alert_sink) {
+      config_.alert_sink(message.str());
+    } else {
+      std::cerr << "[slo] " << message.str() << "\n";
+    }
+  };
+  if (log_availability) {
+    emit("availability", availability_state, status.availability);
+  }
+  if (log_latency) emit("latency", latency_state, status.latency);
+}
+
+}  // namespace cfgx::obs

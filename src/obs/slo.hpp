@@ -1,0 +1,112 @@
+// Rolling-window SLO tracking with multi-window burn rates.
+//
+// Two objectives over the serving request stream:
+//   * availability — at least `availability_objective` of requests finish
+//     Ok (a queue rejection, deadline miss, or explainer error is "bad");
+//   * latency — at least `latency_target_ratio` of requests finish within
+//     `latency_objective_seconds`.
+//
+// For each objective the tracker keeps per-second aggregates in a ring
+// covering the LONG window and reports the burn rate over a short and a
+// long window (the standard 5m/1h pairing): burn = observed bad fraction /
+// error budget, where the budget is (1 - objective). A burn of 1.0 means
+// the error budget is being spent exactly as fast as it accrues; 14.4 on
+// a 99.9% objective means the monthly budget would be gone in ~2 days.
+// An objective ALERTS when BOTH windows exceed the threshold — the short
+// window proves the problem is current, the long window proves it is
+// sustained — and the crossing (in either direction) is logged once, not
+// per request.
+//
+// Time is injected (seconds on an arbitrary monotone axis) so tests drive
+// hours of traffic in microseconds; record() defaults to steady-clock now.
+// All methods are thread-safe behind one mutex — the tracker is fed once
+// per finished request and read by /statusz scrapes, both far off the
+// kernel hot path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cfgx::obs {
+
+class JsonWriter;
+
+struct SloConfig {
+  double availability_objective = 0.999;
+  double latency_objective_seconds = 0.050;
+  double latency_target_ratio = 0.99;
+  std::chrono::seconds short_window{300};    // 5m
+  std::chrono::seconds long_window{3600};    // 1h
+  // Page-worthy fast burn per the SRE-workbook pairing: at 14.4x a 30-day
+  // budget is exhausted in 2 days.
+  double burn_alert_threshold = 14.4;
+  // Called once per threshold crossing (in either direction) with a
+  // human-readable message. Defaults to stderr; obs sits below util in
+  // the library order, so callers that want the real logger inject it
+  // here (the serve engine routes this to CFGX_LOG(Warn)).
+  std::function<void(const std::string&)> alert_sink;
+};
+
+struct BurnRate {
+  std::uint64_t total = 0;  // requests in the window
+  std::uint64_t bad = 0;    // objective violations in the window
+  double burn = 0.0;        // bad fraction / error budget; 0 when empty
+};
+
+struct SloObjectiveStatus {
+  BurnRate short_window;
+  BurnRate long_window;
+  bool alerting = false;
+};
+
+struct SloStatus {
+  SloObjectiveStatus availability;
+  SloObjectiveStatus latency;
+
+  // {"availability":{"burn_5m":...,...},"latency":{...}}
+  void write_json(JsonWriter& writer) const;
+  std::string json() const;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config = {});
+
+  // One finished request: whether it met the availability objective, and
+  // its latency in seconds. `now_seconds` < a previous call's value is
+  // clamped forward (the tracker never rewinds).
+  void record(bool ok, double latency_seconds);
+  void record(bool ok, double latency_seconds, double now_seconds);
+
+  SloStatus status() const;
+  SloStatus status(double now_seconds) const;
+
+  const SloConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Cell {
+    std::int64_t second = -1;  // absolute second this cell holds, -1 empty
+    std::uint64_t total = 0;
+    std::uint64_t unavailable = 0;
+    std::uint64_t slow = 0;
+  };
+
+  double steady_now_seconds() const;
+  BurnRate burn_locked(std::int64_t now_second, std::int64_t window_seconds,
+                       bool latency_objective) const;
+  void maybe_log_transitions(const SloStatus& status);
+
+  SloConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Cell> ring_;  // long_window cells, indexed second % size
+  std::int64_t latest_second_ = 0;
+  bool availability_alerting_ = false;
+  bool latency_alerting_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace cfgx::obs

@@ -24,6 +24,10 @@ struct TraceEvent {
   std::uint64_t start_ns;
   std::uint64_t duration_ns;
   std::uint32_t tid;
+  // 'X' complete span, or a flow phase 's'/'t'/'f' (then flow_id is set
+  // and duration_ns is 0).
+  char phase = 'X';
+  std::uint64_t flow_id = 0;
 };
 
 // One buffer per thread, owned jointly by the thread (thread_local) and the
@@ -144,17 +148,24 @@ std::string trace_json() {
       .end_object()
       .end_object();
   for (const TraceEvent& event : events) {
+    const char ph[2] = {event.phase, '\0'};
     writer.begin_object()
         .field("name", event.name)
         .field("cat", event.category)
-        .field("ph", "X")
+        .field("ph", ph)
         .field("pid", std::int64_t{1})
         .field("tid", static_cast<std::int64_t>(event.tid))
         .field("ts", event.start_ns >= epoch
                          ? static_cast<double>(event.start_ns - epoch) / 1000.0
-                         : 0.0)
-        .field("dur", static_cast<double>(event.duration_ns) / 1000.0)
-        .end_object();
+                         : 0.0);
+    if (event.phase == 'X') {
+      writer.field("dur", static_cast<double>(event.duration_ns) / 1000.0);
+    } else {
+      // Flow ids render as strings; Chrome matches them textually.
+      writer.field("id", std::to_string(event.flow_id));
+      if (event.phase == 'f') writer.field("bp", "e");
+    }
+    writer.end_object();
   }
   writer.end_array();
   writer.end_object();
@@ -166,6 +177,22 @@ bool write_trace_file(const std::string& path) {
   if (!out) return false;
   out << trace_json();
   return static_cast<bool>(out);
+}
+
+void trace_flow(std::uint64_t flow_id, FlowPhase phase, const char* name,
+                const char* category) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = now_ns();
+  event.duration_ns = 0;
+  event.tid = thread_id();
+  event.phase = phase == FlowPhase::Start ? 's'
+                : phase == FlowPhase::Step ? 't'
+                                           : 'f';
+  event.flow_id = flow_id;
+  append_event(std::move(event));
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category) noexcept {

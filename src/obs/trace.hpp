@@ -15,6 +15,13 @@
 //
 // Spans nest lexically per thread; the Chrome "X" event model recovers the
 // parent-child relationship from interval containment on the same tid.
+//
+// Flow events (trace_flow) stitch spans on DIFFERENT threads into one
+// logical timeline: a request that hops submit-thread -> dispatcher ->
+// pool worker emits Start/Step/End flow events with the request id as the
+// flow id, and chrome://tracing draws arrows between the enclosing spans.
+// A flow event binds to the span whose interval contains its timestamp on
+// the same tid, so emit it INSIDE the span it should attach to.
 #pragma once
 
 #include <atomic>
@@ -53,6 +60,17 @@ std::string trace_json();
 
 // Writes trace_json() to `path`; false on I/O failure.
 bool write_trace_file(const std::string& path);
+
+// Chrome flow-event phases: "s" (start), "t" (step), "f" (end; emitted
+// with bp:"e" so the arrow terminates at the enclosing slice).
+enum class FlowPhase : std::uint8_t { Start, Step, End };
+
+// Records one flow event for `flow_id` at the current time on the calling
+// thread. Same overhead contract as TraceSpan: a relaxed load + branch
+// when tracing is disabled. Events with the same flow id form one arrow
+// chain across threads; use a process-unique id (e.g. the request id).
+void trace_flow(std::uint64_t flow_id, FlowPhase phase, const char* name,
+                const char* category = "cfgx");
 
 class TraceSpan {
  public:

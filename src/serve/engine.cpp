@@ -8,9 +8,15 @@
 #include "explain/cfg_explainer.hpp"
 #include "graph/ops.hpp"
 #include "nn/loss.hpp"
+#include "nn/simd.hpp"
 #include "nn/sparse.hpp"
 #include "nn/workspace.hpp"
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/admin.hpp"
+#include "util/logging.hpp"
 
 namespace cfgx::serve {
 namespace {
@@ -24,6 +30,17 @@ obs::Histogram& latency_histogram() {
 obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::global().gauge("serve.queue_depth");
+  return g;
+}
+
+obs::Gauge& inflight_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge("serve.inflight");
+  return g;
+}
+
+obs::Gauge& uptime_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("engine.uptime_seconds");
   return g;
 }
 
@@ -67,13 +84,29 @@ const char* to_string(ResponseStatus status) noexcept {
   return "unknown";
 }
 
+namespace {
+
+// Engine SLO alerts go through the real logger (obs itself cannot link
+// util; see SloConfig::alert_sink).
+obs::SloConfig with_log_sink(obs::SloConfig slo) {
+  if (!slo.alert_sink) {
+    slo.alert_sink = [](const std::string& message) {
+      CFGX_LOG(Warn) << message;
+    };
+  }
+  return slo;
+}
+
+}  // namespace
+
 ExplanationEngine::ExplanationEngine(const GnnClassifier& gnn,
                                      ExplainerFactory factory,
                                      ServeConfig config)
     : gnn_(&gnn),
       factory_(std::move(factory)),
       config_(config),
-      explain_pool_(config.explain_workers) {
+      explain_pool_(config.explain_workers),
+      slo_(with_log_sink(config.slo)) {
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("ExplanationEngine: queue_capacity must be > 0");
   }
@@ -86,6 +119,23 @@ ExplanationEngine::ExplanationEngine(const GnnClassifier& gnn,
     gnn_ = owned_gnn_.get();
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (config_.admin_port >= 0) {
+    try {
+      admin_ = std::make_unique<AdminServer>(
+          config_.admin_port,
+          [] {
+            return obs::render_prometheus(
+                obs::MetricsRegistry::global().snapshot());
+          },
+          [this] { return statusz_json(); });
+    } catch (...) {
+      // A failed bind must not leak a running dispatcher: ~thread on a
+      // joinable thread would terminate the process.
+      stop();
+      throw;
+    }
+  }
+  update_uptime_gauge();
 }
 
 ExplanationEngine::~ExplanationEngine() { stop(); }
@@ -100,11 +150,20 @@ std::future<ExplanationResponse> ExplanationEngine::submit(
         "ExplanationEngine::submit: feature_count does not match the GNN");
   }
 
+  obs::TraceSpan span("serve.submit", "serve");
   Request request;
   request.graph = std::move(graph);
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   request.deadline = deadline;
   request.enqueued = Clock::now();
   std::future<ExplanationResponse> future = request.promise.get_future();
+
+  // The flow starts inside the submit span on the caller's thread; every
+  // later hop (dispatcher batch, completion) emits a step/end with the
+  // same id, which chrome://tracing renders as one arrow chain.
+  obs::trace_flow(request.id, obs::FlowPhase::Start, "serve.request", "serve");
+  inflight_gauge().add(1.0);  // finish() decrements, including rejections
+  update_uptime_gauge();
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -139,12 +198,132 @@ void ExplanationEngine::stop() {
   // without holding the queue lock the dispatcher needs to drain.
   std::lock_guard<std::mutex> join_lock(join_mutex_);
   if (dispatcher_.joinable()) dispatcher_.join();
+  // The endpoint outlives the dispatcher so a scrape during drain still
+  // answers; it stops before this returns so no handler can observe a
+  // partially destroyed engine afterwards.
+  if (admin_) admin_->stop();
+}
+
+double ExplanationEngine::uptime_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - started_).count();
+}
+
+void ExplanationEngine::update_uptime_gauge() const {
+  uptime_gauge().set(uptime_seconds());
+}
+
+std::uint16_t ExplanationEngine::admin_port() const noexcept {
+  return admin_ ? admin_->port() : 0;
+}
+
+std::vector<SlowRequestExemplar> ExplanationEngine::slow_exemplars() const {
+  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  return {slow_exemplars_.begin(), slow_exemplars_.end()};
+}
+
+std::string ExplanationEngine::statusz_json() const {
+  update_uptime_gauge();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  const obs::HistogramStats* batch_stats = nullptr;
+  for (const obs::HistogramStats& h : snapshot.histograms) {
+    if (h.name == "serve.batch_size") batch_stats = &h;
+  }
+
+  double inflight = 0.0;
+  for (const auto& [n, v] : snapshot.gauges) {
+    if (n == "serve.inflight") inflight = v;
+  }
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "cfgx.statusz.v1");
+  json.field("uptime_seconds", uptime_seconds());
+  json.field("queue_depth", static_cast<std::uint64_t>(queue_depth()));
+  json.field("inflight", inflight);
+  json.key("requests").begin_object();
+  json.field("served_ok", counter("serve.requests_served"));
+  json.field("queue_full", counter("serve.rejected_queue_full"));
+  json.field("deadline_exceeded", counter("serve.deadline_exceeded"));
+  json.field("explain_errors", counter("serve.explain_errors"));
+  json.field("engine_stopped", counter("serve.stopped"));
+  json.end_object();
+  json.key("batch").begin_object();
+  if (batch_stats != nullptr) {
+    json.field("count", batch_stats->count);
+    json.field("mean_size", batch_stats->mean);
+    json.field("p95_size", batch_stats->p95);
+    json.field("max_size", batch_stats->max);
+  } else {
+    json.field("count", std::uint64_t{0});
+  }
+  json.end_object();
+  json.field("isa", simd::isa_name(simd::dispatch()));
+  json.field("precision", precision_name(config_.precision));
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    json.field("last_error", last_error_);
+    json.field("slow_exemplars", static_cast<std::uint64_t>(
+                                     slow_exemplars_.size()));
+  }
+  json.key("slo");
+  slo_.status().write_json(json);
+  json.end_object();
+  return json.str();
 }
 
 void ExplanationEngine::finish(Request& request, ExplanationResponse response) {
+  obs::TraceSpan span("serve.finish", "serve");
+  response.request_id = request.id;
   status_counter(response.status).add();
-  latency_histogram().record(
-      std::chrono::duration<double>(Clock::now() - request.enqueued).count());
+  const Clock::time_point now = Clock::now();
+  const double latency =
+      std::chrono::duration<double>(now - request.enqueued).count();
+  latency_histogram().record(latency);
+  inflight_gauge().add(-1.0);
+  update_uptime_gauge();
+  slo_.record(response.status == ResponseStatus::Ok, latency);
+
+  if (response.status == ResponseStatus::ExplainError) {
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    last_error_ = response.error;
+  }
+
+  if (config_.slow_request_threshold_seconds > 0.0 &&
+      latency > config_.slow_request_threshold_seconds &&
+      config_.slow_exemplar_capacity > 0) {
+    SlowRequestExemplar exemplar;
+    exemplar.request_id = request.id;
+    exemplar.status = response.status;
+    exemplar.total_seconds = latency;
+    exemplar.queue_seconds =
+        request.dequeued >= request.enqueued
+            ? std::chrono::duration<double>(request.dequeued - request.enqueued)
+                  .count()
+            : latency;  // never dequeued (rejected/stopped at submit)
+    if (response.prediction.probabilities.rows() > 0) {
+      exemplar.predicted_class = response.prediction.predicted_class;
+      exemplar.confidence = response.prediction.confidence();
+    }
+    const std::size_t k =
+        std::min(config_.slow_exemplar_top_k, response.ranking.order.size());
+    exemplar.top_nodes.assign(response.ranking.order.begin(),
+                              response.ranking.order.begin() +
+                                  static_cast<std::ptrdiff_t>(k));
+    std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    slow_exemplars_.push_back(std::move(exemplar));
+    while (slow_exemplars_.size() > config_.slow_exemplar_capacity) {
+      slow_exemplars_.pop_front();
+    }
+  }
+
+  obs::trace_flow(request.id, obs::FlowPhase::End, "serve.request", "serve");
   request.promise.set_value(std::move(response));
 }
 
@@ -186,11 +365,21 @@ void ExplanationEngine::serve_batch(std::vector<Request>& batch) {
   static obs::Histogram& execute_h =
       obs::MetricsRegistry::global().histogram("serve.batch_execute_seconds");
   batch_size_h.record(static_cast<double>(batch.size()));
+  update_uptime_gauge();
+
+  // The dispatcher-side hop of every request's flow: a step inside the
+  // batch span links the submit-thread arrow to this thread's slice.
+  obs::TraceSpan batch_span("serve.batch", "serve");
+  for (const Request& request : batch) {
+    obs::trace_flow(request.id, obs::FlowPhase::Step, "serve.request",
+                    "serve");
+  }
 
   // Stage boundary 1 (dequeue): an already-expired request gets no work.
   std::vector<std::size_t> live;
   {
     const Clock::time_point now = Clock::now();
+    for (Request& request : batch) request.dequeued = now;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (batch[i].deadline < now) {
         finish(batch[i], status_response(ResponseStatus::DeadlineExceeded));

@@ -41,8 +41,27 @@
 // thread. Exactly one dispatcher thread runs batches; explainers run on the
 // engine's own pool via explain_batch_outcomes (one graph's explainer
 // throwing costs only that request, as ExplainError).
+// Telemetry (the live-observability layer rides on every request):
+//   * each request gets a process-unique id at submit(); the id is the
+//     Chrome-trace FLOW id linking the submit-thread span, the
+//     dispatcher's batch spans and the completion into one arrow chain
+//     (obs::trace_flow), and it is returned in the response;
+//   * `serve.inflight` gauge counts submitted-but-unfinished requests;
+//     `engine.uptime_seconds` is refreshed on every submit/batch/status;
+//   * requests slower than ServeConfig::slow_request_threshold_seconds
+//     are captured as exemplars (id, stage timings, prediction, top-k
+//     node ids) — slow_exemplars() hands them to manifests;
+//   * every finished request feeds an obs::SloTracker (availability +
+//     latency objectives, multi-window burn rate, threshold-crossing
+//     logs), surfaced by statusz_json();
+//   * statusz_json() renders the live engine state (uptime, queue depth,
+//     in-flight, ISA/precision, last error, SLO burns) and, together
+//     with the Prometheus exposition of the global registry, backs the
+//     optional loopback admin endpoint (ServeConfig::admin_port >= 0):
+//     GET /metrics | /healthz | /statusz while the engine serves.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -59,9 +78,12 @@
 #include "explain/parallel.hpp"
 #include "gnn/classifier.hpp"
 #include "graph/acfg.hpp"
+#include "obs/slo.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cfgx::serve {
+
+class AdminServer;
 
 enum class ResponseStatus : std::uint8_t {
   Ok = 0,
@@ -85,10 +107,38 @@ struct ServeConfig {
   // (packed bf16 weights, fp32 accumulation — see matrix16.hpp); the
   // caller's model is untouched and the explainers still see it.
   Precision precision = Precision::Fp64;
+  // Loopback admin endpoint (/metrics, /healthz, /statusz). Negative =
+  // disabled (the default); 0 = ephemeral port (admin_port() tells).
+  int admin_port = -1;
+  // Requests with submit-to-finish latency above this are captured as
+  // slow-request exemplars; 0 disables capture.
+  double slow_request_threshold_seconds = 0.0;
+  // At most this many exemplars are retained (oldest evicted first).
+  std::size_t slow_exemplar_capacity = 32;
+  // How many top-ranked node ids an exemplar keeps.
+  std::size_t slow_exemplar_top_k = 10;
+  // SLO objectives fed from every finished request (see obs/slo.hpp).
+  obs::SloConfig slo;
+};
+
+// One over-threshold request, enough to reconstruct its story without the
+// full trace: where the time went (queue vs service), what the model said,
+// and which nodes the explanation ranked on top.
+struct SlowRequestExemplar {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::Ok;
+  double queue_seconds = 0.0;    // submit -> dispatcher dequeue
+  double total_seconds = 0.0;    // submit -> finish
+  std::size_t predicted_class = 0;
+  double confidence = 0.0;
+  std::vector<std::uint32_t> top_nodes;  // first slow_exemplar_top_k
 };
 
 struct ExplanationResponse {
   ResponseStatus status = ResponseStatus::EngineStopped;
+  // The id assigned at submit(); also the Chrome-trace flow id of this
+  // request's span chain. 0 only for default-constructed responses.
+  std::uint64_t request_id = 0;
   // Batched-inference classification; valid on Ok and ExplainError (the
   // forward pass ran even when the explainer failed).
   Prediction prediction;
@@ -133,17 +183,40 @@ class ExplanationEngine {
 
   const ServeConfig& config() const noexcept { return config_; }
 
+  // Seconds since construction (also exported as the
+  // `engine.uptime_seconds` gauge).
+  double uptime_seconds() const;
+
+  // Bound admin port; 0 when the admin endpoint is disabled.
+  std::uint16_t admin_port() const noexcept;
+
+  // Captured slow-request exemplars, oldest first (bounded by
+  // ServeConfig::slow_exemplar_capacity).
+  std::vector<SlowRequestExemplar> slow_exemplars() const;
+
+  // Multi-window SLO burn rates over the finished-request stream.
+  obs::SloStatus slo_status() const { return slo_.status(); }
+
+  // The /statusz document: {"uptime_seconds":...,"queue_depth":...,
+  // "inflight":...,"requests":{...},"batch":{...},"isa":...,
+  // "precision":...,"last_error":...,"slo":{...}}. Callable from any
+  // thread while the engine serves.
+  std::string statusz_json() const;
+
  private:
   struct Request {
     Acfg graph;
+    std::uint64_t id = 0;
     Clock::time_point deadline;
     Clock::time_point enqueued;
+    Clock::time_point dequeued;
     std::promise<ExplanationResponse> promise;
   };
 
   void dispatcher_loop();
   void serve_batch(std::vector<Request>& batch);
   void finish(Request& request, ExplanationResponse response);
+  void update_uptime_gauge() const;
 
   const GnnClassifier* gnn_;
   // Precision-set clone backing gnn_ when config_.precision != Fp64.
@@ -158,6 +231,17 @@ class ExplanationEngine {
   bool stopping_ = false;
   std::mutex join_mutex_;  // serializes concurrent stop() joins
   std::thread dispatcher_;
+
+  const Clock::time_point started_ = Clock::now();
+  std::atomic<std::uint64_t> next_request_id_{1};
+  obs::SloTracker slo_;
+
+  mutable std::mutex telemetry_mutex_;  // exemplars + last error
+  std::deque<SlowRequestExemplar> slow_exemplars_;
+  std::string last_error_;
+
+  // Constructed last, destroyed first: handlers read the members above.
+  std::unique_ptr<AdminServer> admin_;
 };
 
 // Convenience factory for the common backend: CFGExplainer instances all

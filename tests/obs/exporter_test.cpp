@@ -1,0 +1,262 @@
+#include "obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace cfgx::obs {
+namespace {
+
+// The global registry keeps registrations made by OTHER test files in this
+// binary (reset() zeroes values only), so windows carry those metrics with
+// zero deltas; every lookup below is by name.
+const WindowedCounter* find_counter(const MetricsWindow& window,
+                                    const std::string& name) {
+  for (const WindowedCounter& c : window.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const WindowedHistogram* find_histogram(const MetricsWindow& window,
+                                        const std::string& name) {
+  for (const WindowedHistogram& h : window.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double find_gauge(const MetricsWindow& window, const std::string& name) {
+  for (const auto& [gauge_name, value] : window.gauges) {
+    if (gauge_name == name) return value;
+  }
+  ADD_FAILURE() << "gauge " << name << " not in window";
+  return 0.0;
+}
+
+const HistogramStats* find_stats(const MetricsSnapshot& snapshot,
+                                 const std::string& name) {
+  for (const HistogramStats& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+class ExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_enabled_ = metrics_enabled();
+    set_metrics_enabled(true);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    set_metrics_enabled(saved_enabled_);
+  }
+
+ private:
+  bool saved_enabled_ = true;
+};
+
+TEST_F(ExporterTest, DiffComputesCounterDeltaAndRate) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter& requests = registry.counter("t.requests");
+  requests.add(10);
+  const MetricsSnapshot before = registry.snapshot();
+  requests.add(30);
+  const MetricsSnapshot after = registry.snapshot();
+
+  const MetricsWindow window = diff_snapshots(before, after, 2.0);
+  const WindowedCounter* requests_window = find_counter(window, "t.requests");
+  ASSERT_NE(requests_window, nullptr);
+  EXPECT_EQ(requests_window->delta, 30u);
+  EXPECT_DOUBLE_EQ(requests_window->rate_per_second, 15.0);
+  EXPECT_DOUBLE_EQ(window.interval_seconds, 2.0);
+}
+
+TEST_F(ExporterTest, DiffReportsGaugesInstantaneously) {
+  Gauge& depth = MetricsRegistry::global().gauge("t.depth");
+  depth.set(7.0);
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  depth.set(3.0);
+  const MetricsSnapshot after = MetricsRegistry::global().snapshot();
+
+  const MetricsWindow window = diff_snapshots(before, after, 1.0);
+  EXPECT_DOUBLE_EQ(find_gauge(window, "t.depth"), 3.0);
+}
+
+TEST_F(ExporterTest, DiffClampsOnRegistryReset) {
+  Counter& c = MetricsRegistry::global().counter("t.reset_me");
+  c.add(100);
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  c.reset();
+  c.add(5);
+  const MetricsSnapshot after = MetricsRegistry::global().snapshot();
+
+  // cur < prev cannot yield a negative (wrapped) delta; the window treats
+  // the current value as the delta since the reset.
+  const MetricsWindow window = diff_snapshots(before, after, 1.0);
+  const WindowedCounter* reset_window = find_counter(window, "t.reset_me");
+  ASSERT_NE(reset_window, nullptr);
+  EXPECT_EQ(reset_window->delta, 5u);
+}
+
+TEST_F(ExporterTest, DiffComputesIntervalPercentilesFromBucketDiffs) {
+  Histogram& hist = MetricsRegistry::global().histogram("t.latency");
+  // Old regime: fast responses, fully inside the "before" snapshot.
+  for (int i = 0; i < 1000; ++i) hist.record(0.001);
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  // New regime: 10x slower. Cumulative percentiles would still be
+  // dominated by the old samples; the WINDOW must see only the new ones.
+  for (int i = 0; i < 100; ++i) hist.record(0.010);
+  const MetricsSnapshot after = MetricsRegistry::global().snapshot();
+
+  const MetricsWindow window = diff_snapshots(before, after, 1.0);
+  const WindowedHistogram* w = find_histogram(window, "t.latency");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->count_delta, 100u);
+  EXPECT_NEAR(w->sum_delta, 1.0, 1e-9);
+  EXPECT_NEAR(w->p50, 0.010, 0.010 * 0.2);  // log-bucket resolution
+  EXPECT_NEAR(w->p99, 0.010, 0.010 * 0.2);
+  // The cumulative histogram still reports the old regime's median.
+  const HistogramStats* cumulative = find_stats(after, "t.latency");
+  ASSERT_NE(cumulative, nullptr);
+  EXPECT_NEAR(cumulative->p50, 0.001, 0.001 * 0.2);
+}
+
+TEST_F(ExporterTest, MetricAppearingMidFlightDiffsAgainstZero) {
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  MetricsRegistry::global().counter("t.born_late").add(9);
+  const MetricsSnapshot after = MetricsRegistry::global().snapshot();
+
+  const MetricsWindow window = diff_snapshots(before, after, 1.0);
+  const WindowedCounter* born = find_counter(window, "t.born_late");
+  ASSERT_NE(born, nullptr);
+  EXPECT_EQ(born->delta, 9u);
+}
+
+TEST_F(ExporterTest, SampleNowCutsConsecutiveWindows) {
+  Counter& c = MetricsRegistry::global().counter("t.ticks");
+  ExporterConfig config;
+  config.interval = std::chrono::hours(1);  // periodic thread stays idle
+  MetricsExporter exporter(MetricsRegistry::global(), config);
+
+  c.add(4);
+  const MetricsWindow first = exporter.sample_now();
+  c.add(6);
+  const MetricsWindow second = exporter.sample_now();
+
+  ASSERT_NE(find_counter(first, "t.ticks"), nullptr);
+  EXPECT_EQ(find_counter(first, "t.ticks")->delta, 4u);
+  ASSERT_NE(find_counter(second, "t.ticks"), nullptr);
+  EXPECT_EQ(find_counter(second, "t.ticks")->delta, 6u);
+
+  const std::vector<MetricsWindow> recent = exporter.recent_windows();
+  ASSERT_GE(recent.size(), 2u);
+  EXPECT_EQ(find_counter(recent[recent.size() - 2], "t.ticks")->delta, 4u);
+  EXPECT_EQ(find_counter(recent.back(), "t.ticks")->delta, 6u);
+}
+
+TEST_F(ExporterTest, WritesParseableJsonlWindows) {
+  const std::string path =
+      ::testing::TempDir() + "exporter_test_windows.jsonl";
+  std::remove(path.c_str());
+  {
+    ExporterConfig config;
+    config.interval = std::chrono::hours(1);
+    config.path = path;
+    MetricsExporter exporter(MetricsRegistry::global(), config);
+    MetricsRegistry::global().counter("t.jsonl").add(3);
+    exporter.sample_now();
+    MetricsRegistry::global().histogram("t.jsonl_h").record(0.5);
+    exporter.sample_now();
+    exporter.stop();  // final tail window also lands in the file
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_counter = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue doc = JsonValue::parse(line);
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.at("schema").string_value, "cfgx.metrics.window.v1");
+    EXPECT_TRUE(doc.has("counters"));
+    EXPECT_TRUE(doc.has("gauges"));
+    EXPECT_TRUE(doc.has("histograms"));
+    if (doc.at("counters").has("t.jsonl") &&
+        doc.at("counters").at("t.jsonl").at("delta").number_value == 3.0) {
+      saw_counter = true;
+    }
+  }
+  EXPECT_GE(lines, 3u);
+  EXPECT_TRUE(saw_counter);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExporterTest, ThrowsWhenSinkPathUnwritable) {
+  ExporterConfig config;
+  config.path = "/nonexistent-dir-for-sure/exporter.jsonl";
+  EXPECT_THROW(MetricsExporter(MetricsRegistry::global(), config),
+               std::runtime_error);
+}
+
+// The consistency property the header promises: windows cut while other
+// threads hammer the registry never go negative and stay self-consistent
+// (percentiles derive from the same bucket diff that defines the window).
+TEST_F(ExporterTest, WindowsStayConsistentUnderConcurrentMutation) {
+  Counter& c = MetricsRegistry::global().counter("t.concurrent");
+  Histogram& h = MetricsRegistry::global().histogram("t.concurrent_h");
+  ExporterConfig config;
+  config.interval = std::chrono::milliseconds(1);  // aggressive sampling
+  MetricsExporter exporter(MetricsRegistry::global(), config);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add(1);
+        h.record(0.002);
+      }
+    });
+  }
+  std::uint64_t manual_total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsWindow window = exporter.sample_now();
+    for (const WindowedCounter& wc : window.counters) {
+      manual_total += wc.delta;
+      EXPECT_GE(wc.rate_per_second, 0.0);
+    }
+    for (const WindowedHistogram& wh : window.histograms) {
+      EXPECT_GE(wh.p50, 0.0);
+      EXPECT_LE(wh.p50, wh.p99 * 1.0001 + 1e-12);
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  exporter.stop();
+
+  // Window deltas never double-count: their sum (over the retained ring,
+  // which may have evicted early windows) cannot exceed the counter total.
+  std::uint64_t windowed_total = 0;
+  for (const MetricsWindow& w : exporter.recent_windows()) {
+    for (const WindowedCounter& wc : w.counters) windowed_total += wc.delta;
+  }
+  EXPECT_GT(exporter.windows_sampled(), 50u);
+  EXPECT_LE(windowed_total, c.value());
+}
+
+}  // namespace
+}  // namespace cfgx::obs

@@ -1,0 +1,176 @@
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cfgx::obs {
+namespace {
+
+SloConfig quiet_config() {
+  SloConfig config;
+  config.alert_sink = [](const std::string&) {};
+  return config;
+}
+
+TEST(SloTest, EmptyTrackerReportsZeroBurn) {
+  SloTracker tracker(quiet_config());
+  const SloStatus status = tracker.status(1000.0);
+  EXPECT_EQ(status.availability.short_window.total, 0u);
+  EXPECT_DOUBLE_EQ(status.availability.short_window.burn, 0.0);
+  EXPECT_DOUBLE_EQ(status.latency.long_window.burn, 0.0);
+  EXPECT_FALSE(status.availability.alerting);
+  EXPECT_FALSE(status.latency.alerting);
+}
+
+TEST(SloTest, BurnIsBadFractionOverErrorBudget) {
+  SloConfig config = quiet_config();
+  config.availability_objective = 0.99;  // budget = 1%
+  SloTracker tracker(config);
+  // 1000 requests in one second: 20 bad => 2% bad => burn 2.0.
+  for (int i = 0; i < 980; ++i) tracker.record(true, 0.001, 5000.0);
+  for (int i = 0; i < 20; ++i) tracker.record(false, 0.001, 5000.0);
+
+  const SloStatus status = tracker.status(5000.0);
+  EXPECT_EQ(status.availability.short_window.total, 1000u);
+  EXPECT_EQ(status.availability.short_window.bad, 20u);
+  EXPECT_NEAR(status.availability.short_window.burn, 2.0, 1e-9);
+  EXPECT_NEAR(status.availability.long_window.burn, 2.0, 1e-9);
+}
+
+TEST(SloTest, LatencyObjectiveCountsSlowRequests) {
+  SloConfig config = quiet_config();
+  config.latency_objective_seconds = 0.050;
+  config.latency_target_ratio = 0.90;  // budget = 10%
+  SloTracker tracker(config);
+  // All available, but 30% slower than 50ms => latency burn 3.0 while
+  // availability burn stays 0.
+  for (int i = 0; i < 70; ++i) tracker.record(true, 0.010, 100.0);
+  for (int i = 0; i < 30; ++i) tracker.record(true, 0.200, 100.0);
+
+  const SloStatus status = tracker.status(100.0);
+  EXPECT_DOUBLE_EQ(status.availability.short_window.burn, 0.0);
+  EXPECT_EQ(status.latency.short_window.bad, 30u);
+  EXPECT_NEAR(status.latency.short_window.burn, 3.0, 1e-9);
+}
+
+TEST(SloTest, RequestsAgeOutOfTheShortWindowFirst) {
+  SloConfig config = quiet_config();
+  config.short_window = std::chrono::seconds(300);
+  config.long_window = std::chrono::seconds(3600);
+  SloTracker tracker(config);
+  tracker.record(false, 0.001, 1000.0);
+
+  // 6 minutes later the failure has left the 5m window but not the 1h one.
+  SloStatus status = tracker.status(1000.0 + 360.0);
+  EXPECT_EQ(status.availability.short_window.bad, 0u);
+  EXPECT_EQ(status.availability.long_window.bad, 1u);
+
+  // 2 hours later it is gone entirely.
+  status = tracker.status(1000.0 + 7200.0);
+  EXPECT_EQ(status.availability.long_window.bad, 0u);
+}
+
+TEST(SloTest, AlertRequiresBothWindowsOverThreshold) {
+  SloConfig config = quiet_config();
+  config.availability_objective = 0.999;  // budget 0.1%
+  config.burn_alert_threshold = 14.4;
+  config.short_window = std::chrono::seconds(300);
+  config.long_window = std::chrono::seconds(3600);
+
+  // An hour of clean traffic, then a failure burst in the last seconds:
+  // the short window burns far over threshold, but diluted across the 1h
+  // window it stays under — no alert (current but not sustained).
+  SloTracker tracker(config);
+  for (int s = 0; s < 3300; s += 10) {
+    for (int i = 0; i < 100; ++i) tracker.record(true, 0.001, 6000.0 + s);
+  }
+  for (int i = 0; i < 10; ++i) tracker.record(false, 0.001, 6000.0 + 3700.0);
+  SloStatus status = tracker.status(6000.0 + 3700.0);
+  EXPECT_GT(status.availability.short_window.burn, 14.4);
+  EXPECT_LT(status.availability.long_window.burn, 14.4);
+  EXPECT_FALSE(status.availability.alerting);
+
+  // Sustained failures push BOTH windows over: alert.
+  SloTracker burning(config);
+  for (int s = 0; s < 3600; s += 10) {
+    for (int i = 0; i < 9; ++i) burning.record(true, 0.001, 20000.0 + s);
+    burning.record(false, 0.001, 20000.0 + s);
+  }
+  status = burning.status(20000.0 + 3599.0);
+  EXPECT_GT(status.availability.short_window.burn, 14.4);
+  EXPECT_GT(status.availability.long_window.burn, 14.4);
+  EXPECT_TRUE(status.availability.alerting);
+}
+
+TEST(SloTest, AlertSinkFiresOncePerCrossing) {
+  std::vector<std::string> messages;
+  SloConfig config;
+  config.availability_objective = 0.9;  // budget 10%
+  config.burn_alert_threshold = 2.0;
+  config.short_window = std::chrono::seconds(10);
+  config.long_window = std::chrono::seconds(20);
+  config.alert_sink = [&](const std::string& m) { messages.push_back(m); };
+  SloTracker tracker(config);
+
+  // Every request fails: burn 10x in both windows -> one CROSSED log,
+  // not one per record.
+  for (int i = 0; i < 50; ++i) tracker.record(false, 0.001, 100.0);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_NE(messages[0].find("availability"), std::string::npos);
+  EXPECT_NE(messages[0].find("CROSSED"), std::string::npos);
+
+  // 30 seconds of silence empties both windows; the next healthy request
+  // logs the recovery exactly once.
+  tracker.record(true, 0.001, 140.0);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_NE(messages[1].find("recovered"), std::string::npos);
+  tracker.record(true, 0.001, 141.0);
+  EXPECT_EQ(messages.size(), 2u);
+}
+
+TEST(SloTest, TimeNeverRewinds) {
+  SloTracker tracker(quiet_config());
+  tracker.record(false, 0.001, 500.0);
+  // An out-of-order timestamp is clamped forward, not written into the past
+  // (which could resurrect an aged-out cell).
+  tracker.record(false, 0.001, 100.0);
+  const SloStatus status = tracker.status(500.0);
+  EXPECT_EQ(status.availability.long_window.bad, 2u);
+}
+
+TEST(SloTest, StatusJsonIsParseable) {
+  SloTracker tracker(quiet_config());
+  tracker.record(true, 0.001, 50.0);
+  tracker.record(false, 0.900, 50.0);
+  const JsonValue doc = JsonValue::parse(tracker.status(50.0).json());
+  ASSERT_TRUE(doc.is_object());
+  for (const char* objective : {"availability", "latency"}) {
+    ASSERT_TRUE(doc.has(objective));
+    const JsonValue& section = doc.at(objective);
+    EXPECT_TRUE(section.has("burn_short"));
+    EXPECT_TRUE(section.has("burn_long"));
+    EXPECT_TRUE(section.has("total_short"));
+    EXPECT_TRUE(section.has("alerting"));
+  }
+  EXPECT_EQ(doc.at("availability").at("bad_short").number_value, 1.0);
+  EXPECT_EQ(doc.at("latency").at("bad_short").number_value, 1.0);
+}
+
+TEST(SloTest, RejectsNonsenseConfig) {
+  SloConfig bad = quiet_config();
+  bad.short_window = std::chrono::seconds(3600);
+  bad.long_window = std::chrono::seconds(300);
+  EXPECT_THROW(SloTracker{bad}, std::invalid_argument);
+
+  SloConfig zero = quiet_config();
+  zero.availability_objective = 1.0;  // zero error budget
+  EXPECT_THROW(SloTracker{zero}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cfgx::obs

@@ -2,18 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "dataset/corpus.hpp"
 #include "explain/baselines.hpp"
 #include "explain/cfg_explainer.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace cfgx::serve {
@@ -305,6 +311,141 @@ TEST_F(EngineTest, ConcurrentSubmitHammer) {
   EXPECT_EQ(bad_status.load(), 0u);
   // Unexpired, admitted requests must all have served.
   EXPECT_GT(ok_count.load(), 0u);
+}
+
+TEST_F(EngineTest, ResponsesCarryUniqueRequestIds) {
+  ExplanationEngine engine(gnn_, cfg_factory());
+  std::vector<std::future<ExplanationResponse>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(engine.submit(corpus_graph(i)));
+
+  std::vector<std::uint64_t> ids;
+  for (auto& f : futures) {
+    const ExplanationResponse response = f.get();
+    ASSERT_TRUE(response.ok());
+    ids.push_back(response.request_id);
+  }
+  for (std::uint64_t id : ids) EXPECT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+
+  // Rejections are ids too: a QueueFull/EngineStopped response still names
+  // the request it answers.
+  engine.stop();
+  EXPECT_NE(engine.submit(corpus_graph(0)).get().request_id, 0u);
+}
+
+TEST_F(EngineTest, InflightAndUptimeGaugesTrackTheEngine) {
+  const bool saved = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  obs::Gauge& inflight = obs::MetricsRegistry::global().gauge("serve.inflight");
+  obs::Gauge& uptime =
+      obs::MetricsRegistry::global().gauge("engine.uptime_seconds");
+  inflight.reset();
+
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  ServeConfig config;
+  config.max_batch = 1;
+  config.explain_workers = 1;
+  ExplanationEngine engine(
+      gnn_, [gate] { return std::make_unique<GatedExplainer>(gate); }, config);
+
+  auto held = engine.submit(corpus_graph(0));
+  wait_for_empty_queue(engine);  // dispatcher holds it at the gate
+  auto queued = engine.submit(corpus_graph(1));
+  EXPECT_EQ(inflight.value(), 2.0);  // submitted, neither finished
+
+  gate->store(true);
+  EXPECT_TRUE(held.get().ok());
+  EXPECT_TRUE(queued.get().ok());
+  EXPECT_EQ(inflight.value(), 0.0);
+
+  EXPECT_GT(engine.uptime_seconds(), 0.0);
+  EXPECT_GT(uptime.value(), 0.0);
+  EXPECT_LE(uptime.value(), engine.uptime_seconds());
+
+  obs::set_metrics_enabled(saved);
+}
+
+TEST_F(EngineTest, SlowRequestsAreCapturedAsExemplars) {
+  ServeConfig config;
+  config.slow_request_threshold_seconds = 1e-9;  // everything is "slow"
+  config.slow_exemplar_capacity = 3;
+  config.slow_exemplar_top_k = 4;
+  ExplanationEngine engine(gnn_, cfg_factory(), config);
+
+  std::vector<std::uint64_t> served_ids;
+  for (int i = 0; i < 5; ++i) {
+    const ExplanationResponse response = engine.submit(corpus_graph(i)).get();
+    ASSERT_TRUE(response.ok());
+    served_ids.push_back(response.request_id);
+  }
+
+  const std::vector<SlowRequestExemplar> exemplars = engine.slow_exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);  // capacity-bounded, oldest evicted
+  for (std::size_t i = 0; i < exemplars.size(); ++i) {
+    const SlowRequestExemplar& e = exemplars[i];
+    // The retained exemplars are the LAST three served requests, in order.
+    EXPECT_EQ(e.request_id, served_ids[served_ids.size() - 3 + i]);
+    EXPECT_EQ(e.status, ResponseStatus::Ok);
+    EXPECT_GT(e.total_seconds, 0.0);
+    EXPECT_GE(e.total_seconds, e.queue_seconds);
+    EXPECT_LE(e.top_nodes.size(), 4u);
+    EXPECT_FALSE(e.top_nodes.empty());
+  }
+
+  // Threshold 0 disables capture entirely.
+  ExplanationEngine quiet(gnn_, cfg_factory());
+  ASSERT_TRUE(quiet.submit(corpus_graph(0)).get().ok());
+  EXPECT_TRUE(quiet.slow_exemplars().empty());
+}
+
+TEST_F(EngineTest, RequestFlowEventsLinkSpansAcrossThreads) {
+  obs::start_tracing();
+  ExplanationEngine engine(gnn_, cfg_factory());
+  const ExplanationResponse response = engine.submit(corpus_graph(0)).get();
+  ASSERT_TRUE(response.ok());
+  engine.stop();
+  obs::stop_tracing();
+  const std::string trace = obs::trace_json();
+  obs::clear_trace_events();
+
+  const obs::JsonValue doc = obs::JsonValue::parse(trace);
+  const std::string flow_id = std::to_string(response.request_id);
+  bool saw_start = false, saw_step = false, saw_end = false;
+  bool end_binds_enclosing = false;
+  std::set<double> flow_tids;
+  for (const obs::JsonValue& event : doc.at("traceEvents").items) {
+    if (!event.has("id") ||
+        event.at("id").string_value != flow_id) {
+      continue;
+    }
+    const std::string& ph = event.at("ph").string_value;
+    flow_tids.insert(event.at("tid").number_value);
+    if (ph == "s") saw_start = true;
+    if (ph == "t") saw_step = true;
+    if (ph == "f") {
+      saw_end = true;
+      end_binds_enclosing =
+          event.has("bp") && event.at("bp").string_value == "e";
+    }
+  }
+  // One arrow chain: submit (s) -> dispatcher batch (t) -> finish (f).
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(end_binds_enclosing);
+  // The chain crosses threads (submit thread vs dispatcher thread).
+  EXPECT_GE(flow_tids.size(), 2u);
+
+  // The spans the flow binds to exist on the same timeline.
+  bool saw_submit_span = false, saw_batch_span = false;
+  for (const obs::JsonValue& event : doc.at("traceEvents").items) {
+    if (!event.has("name")) continue;
+    if (event.at("name").string_value == "serve.submit") saw_submit_span = true;
+    if (event.at("name").string_value == "serve.batch") saw_batch_span = true;
+  }
+  EXPECT_TRUE(saw_submit_span);
+  EXPECT_TRUE(saw_batch_span);
 }
 
 }  // namespace

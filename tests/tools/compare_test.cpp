@@ -1,0 +1,189 @@
+#include "tools/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace cfgx::tools {
+namespace {
+
+using obs::JsonValue;
+
+const char* kServeBaseline = R"({
+  "schema": "cfgx.bench.serve.v1",
+  "totals": {"ok": 256, "queue_full_rejections": 3, "explain_errors": 0,
+             "other": 0},
+  "explanations_per_second": 1000.0,
+  "latency": {"p50_s": 0.002, "p95_s": 0.004},
+  "workspace": {"bytes_allocated_delta": 0}
+})";
+
+const char* kKernelsBaseline = R"({
+  "schema": "cfgx.bench.kernels.v2",
+  "isa": "avx2",
+  "cases": [
+    {"name": "matmul", "n": 64, "speedup_mean": 3.0,
+     "workspace_after_loop": {"bytes_allocated_delta": 0}},
+    {"name": "matmul", "n": 128, "speedup_mean": 3.5,
+     "workspace_after_loop": {"bytes_allocated_delta": 0}}
+  ]
+})";
+
+JsonValue parse(const std::string& text) { return JsonValue::parse(text); }
+
+TEST(BenchCompareTest, IdenticalServeRunsPass) {
+  const JsonValue doc = parse(kServeBaseline);
+  const CompareReport report = compare_bench_json(doc, doc, 2.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.exit_code(), 0);
+  EXPECT_EQ(report.schema, "cfgx.bench.serve.v1");
+  EXPECT_GE(report.checks.size(), 6u);
+}
+
+TEST(BenchCompareTest, ThroughputCollapseIsARegression) {
+  JsonValue fresh = parse(kServeBaseline);
+  fresh.members["explanations_per_second"].number_value = 400.0;  // > 2x down
+  const CompareReport report =
+      compare_bench_json(parse(kServeBaseline), fresh, 2.0);
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.regressions(), 1u);
+  // 500.0 would be exactly baseline/tolerance: inside the band.
+  fresh.members["explanations_per_second"].number_value = 501.0;
+  EXPECT_EQ(compare_bench_json(parse(kServeBaseline), fresh, 2.0).exit_code(),
+            0);
+}
+
+TEST(BenchCompareTest, LatencyGrowthIsARegression) {
+  JsonValue fresh = parse(kServeBaseline);
+  fresh.members["latency"].members["p95_s"].number_value = 0.1;
+  const CompareReport report =
+      compare_bench_json(parse(kServeBaseline), fresh, 2.0);
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(BenchCompareTest, ZeroInvariantsIgnoreTolerance) {
+  JsonValue fresh = parse(kServeBaseline);
+  // One stray explain error: within any ratio tolerance of 0, but exact
+  // invariants don't do ratios.
+  fresh.members["totals"].members["explain_errors"].number_value = 1.0;
+  EXPECT_EQ(compare_bench_json(parse(kServeBaseline), fresh, 100.0)
+                .exit_code(),
+            1);
+
+  JsonValue alloc = parse(kServeBaseline);
+  alloc.members["workspace"].members["bytes_allocated_delta"].number_value =
+      64.0;
+  EXPECT_EQ(compare_bench_json(parse(kServeBaseline), alloc, 100.0)
+                .exit_code(),
+            1);
+}
+
+TEST(BenchCompareTest, SchemaDriftIsAStructureFailure) {
+  JsonValue fresh = parse(kServeBaseline);
+  fresh.members["schema"].string_value = "cfgx.bench.serve.v2";
+  const CompareReport report =
+      compare_bench_json(parse(kServeBaseline), fresh, 2.0);
+  EXPECT_EQ(report.exit_code(), 2);
+  EXPECT_EQ(report.structure_failures(), 1u);
+
+  JsonValue no_schema = parse(kServeBaseline);
+  no_schema.members.erase("schema");
+  EXPECT_EQ(compare_bench_json(parse(kServeBaseline), no_schema, 2.0)
+                .exit_code(),
+            2);
+  EXPECT_EQ(
+      compare_bench_json(parse(R"({"schema": "cfgx.bench.unknown.v9"})"),
+                         parse(R"({"schema": "cfgx.bench.unknown.v9"})"), 2.0)
+          .exit_code(),
+      2);
+}
+
+TEST(BenchCompareTest, MissingMetricIsAStructureFailure) {
+  JsonValue fresh = parse(kServeBaseline);
+  fresh.members.erase("explanations_per_second");
+  EXPECT_EQ(compare_bench_json(parse(kServeBaseline), fresh, 2.0).exit_code(),
+            2);
+}
+
+TEST(BenchCompareTest, EmptyFreshServeRunIsAStructureFailure) {
+  JsonValue fresh = parse(kServeBaseline);
+  fresh.members["totals"].members["ok"].number_value = 0.0;
+  EXPECT_EQ(compare_bench_json(parse(kServeBaseline), fresh, 2.0).exit_code(),
+            2);
+}
+
+TEST(BenchCompareTest, KernelCasesMatchByNameAndSize) {
+  const JsonValue baseline = parse(kKernelsBaseline);
+  EXPECT_EQ(compare_bench_json(baseline, baseline, 2.0).exit_code(), 0);
+
+  // Slowing ONLY the n=128 case past tolerance trips exactly one check.
+  JsonValue fresh = parse(kKernelsBaseline);
+  fresh.members["cases"].items[1].members["speedup_mean"].number_value = 1.0;
+  const CompareReport report = compare_bench_json(baseline, fresh, 2.0);
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.regressions(), 1u);
+  bool found = false;
+  for (const MetricCheck& check : report.checks) {
+    if (check.status == CheckStatus::Regressed) {
+      EXPECT_EQ(check.name, "cases.matmul@n128.speedup_mean");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompareTest, MissingKernelCaseIsAStructureFailure) {
+  JsonValue fresh = parse(kKernelsBaseline);
+  fresh.members["cases"].items.pop_back();
+  EXPECT_EQ(compare_bench_json(parse(kKernelsBaseline), fresh, 2.0)
+                .exit_code(),
+            2);
+}
+
+TEST(BenchCompareTest, IsaMismatchIsAStructureFailure) {
+  JsonValue fresh = parse(kKernelsBaseline);
+  fresh.members["isa"].string_value = "scalar";
+  const CompareReport report =
+      compare_bench_json(parse(kKernelsBaseline), fresh, 2.0);
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(BenchCompareTest, KernelZeroAllocInvariantIsExact) {
+  JsonValue fresh = parse(kKernelsBaseline);
+  fresh.members["cases"]
+      .items[0]
+      .members["workspace_after_loop"]
+      .members["bytes_allocated_delta"]
+      .number_value = 1024.0;
+  EXPECT_EQ(compare_bench_json(parse(kKernelsBaseline), fresh, 100.0)
+                .exit_code(),
+            1);
+}
+
+TEST(BenchCompareTest, StructureOutranksRegressionInExitCode) {
+  JsonValue fresh = parse(kServeBaseline);
+  fresh.members["explanations_per_second"].number_value = 1.0;  // regression
+  fresh.members["latency"].members.erase("p50_s");              // structure
+  const CompareReport report =
+      compare_bench_json(parse(kServeBaseline), fresh, 2.0);
+  EXPECT_GE(report.regressions(), 1u);
+  EXPECT_GE(report.structure_failures(), 1u);
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(BenchCompareTest, PrintReportListsEveryCheck) {
+  const JsonValue doc = parse(kServeBaseline);
+  const CompareReport report = compare_bench_json(doc, doc, 2.0);
+  std::ostringstream out;
+  print_report(out, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("schema: cfgx.bench.serve.v1"), std::string::npos);
+  EXPECT_NE(text.find("explanations_per_second"), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfgx::tools
