@@ -81,6 +81,11 @@ BenchConfig BenchConfig::from_cli(const CliArgs& args) {
       "explainer-epochs", static_cast<std::int64_t>(config.explainer_epochs)));
   config.eval_per_family = static_cast<std::size_t>(args.get_int(
       "eval-per-family", static_cast<std::int64_t>(config.eval_per_family)));
+  config.nodes = static_cast<std::size_t>(
+      args.get_int("nodes", static_cast<std::int64_t>(config.nodes)));
+  if (config.nodes != 0) {
+    config.cache_dir += "_n" + std::to_string(config.nodes);
+  }
 
   // Failing-seed replay hook: when a property/fuzz suite reports a seed,
   // `--replay-seed S` (or the same CFGX_PROPTEST_SEED variable the test
@@ -133,6 +138,7 @@ const Corpus& BenchContext::corpus() {
     CorpusConfig cc;
     cc.samples_per_family = config_.samples_per_family;
     cc.seed = config_.corpus_seed;
+    cc.generator.target_blocks = config_.nodes;
     std::fprintf(stderr, "[bench] generating corpus (%zu graphs)...\n",
                  cc.samples_per_family * kFamilyCount);
     corpus_.emplace(generate_corpus(cc));
@@ -456,6 +462,7 @@ RunReport::RunReport(const std::string& binary_name, const CliArgs& args,
                        static_cast<std::uint64_t>(config.eval_per_family));
   manifest_.set_config("step_size_percent",
                        static_cast<std::uint64_t>(config.step_size_percent));
+  manifest_.set_config("node_cap", static_cast<std::uint64_t>(config.nodes));
   manifest_.set_config("cache_dir", config.cache_dir);
   // Per-ISA attribution: every manifest names the kernel ISA that produced
   // its numbers (dispatch() resolves CFGX_SIMD / --simd / CPUID here).

@@ -59,6 +59,13 @@ struct BenchConfig {
   // Evaluation set: at most this many test graphs per family.
   std::size_t eval_per_family = 8;
 
+  // Paper-scale node floor (`--nodes N`): every generated graph is grown
+  // until it has at least N basic blocks (GeneratorConfig::target_blocks);
+  // 0 keeps the natural motif-driven sizes. The paper's largest CFG has
+  // 7352 nodes. A non-zero cap suffixes the cache dir (`_n<N>`) so
+  // differently-sized corpora never share trained models.
+  std::size_t nodes = 0;
+
   unsigned step_size_percent = 10;
   bool fast = false;
   bool fresh = false;

@@ -27,7 +27,7 @@ Interpretation Interpreter::interpret(const Acfg& graph,
   // O(N^2) densify + renormalize of the previous implementation. The dense
   // adjacency working copy is kept only when snapshots are requested.
   Matrix features = graph.features();
-  MaskedNormalizedAdjacency masked(graph.dense_adjacency(), features);
+  MaskedNormalizedAdjacency masked(graph);  // edge-list ctor, no densify
   Matrix adjacency;  // dense mirror, snapshot path only
   if (config.keep_adjacency_snapshots) adjacency = graph.dense_adjacency();
 

@@ -1,6 +1,8 @@
 #include "dataset/generator.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -197,15 +199,38 @@ GeneratedSample generate_program(Family family, Rng& rng,
 }
 
 Acfg generate_acfg(Family family, Rng& rng, const GeneratorConfig& config) {
-  const GeneratedSample sample = generate_program(family, rng, config);
-  const LiftedCfg cfg = lift_program(sample.program);
-  Acfg graph = to_acfg(cfg, family_label(family), to_string(family));
-  for (const InstrRange& range : sample.planted) {
-    for (std::size_t i = range.first; i < range.second; ++i) {
-      graph.mark_planted(cfg.block_of_instruction(i));
+  GeneratorConfig attempt = config;
+  for (;;) {
+    const GeneratedSample sample = generate_program(family, rng, attempt);
+    const LiftedCfg cfg = lift_program(sample.program);
+
+    if (config.target_blocks != 0 &&
+        cfg.block_count() < config.target_blocks) {
+      // Short of the target: scale the benign function count by the block
+      // shortfall and regenerate. Convergence is geometric (the second
+      // attempt usually lands within a few percent of the target), and the
+      // result stays a pure function of (family, rng state, config).
+      const std::uint64_t blocks = cfg.block_count();
+      const std::uint64_t scaled =
+          (static_cast<std::uint64_t>(attempt.max_benign_functions) *
+               config.target_blocks +
+           blocks - 1) /
+          blocks;
+      const std::size_t functions = static_cast<std::size_t>(std::max<std::uint64_t>(
+          attempt.max_benign_functions + 1, scaled));
+      attempt.min_benign_functions = functions;
+      attempt.max_benign_functions = functions;
+      continue;
     }
+
+    Acfg graph = to_acfg(cfg, family_label(family), to_string(family));
+    for (const InstrRange& range : sample.planted) {
+      for (std::size_t i = range.first; i < range.second; ++i) {
+        graph.mark_planted(cfg.block_of_instruction(i));
+      }
+    }
+    return graph;
   }
-  return graph;
 }
 
 }  // namespace cfgx

@@ -35,6 +35,12 @@ struct GeneratorConfig {
   std::size_t max_block_budget = 9;
   std::size_t min_motif_repeats = 2;  // malicious functions per sample
   std::size_t max_motif_repeats = 4;
+  // When non-zero, generate_acfg grows the benign scaffolding until the
+  // lifted graph has at least this many basic blocks (paper-scale graphs:
+  // the dataset's largest CFG has 7352 nodes). The motif count stays as
+  // configured — large graphs are mostly benign code, as in the real
+  // corpus. Typical overshoot is one function's worth of blocks.
+  std::size_t target_blocks = 0;
 };
 
 struct GeneratedSample {

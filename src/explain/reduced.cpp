@@ -1,0 +1,55 @@
+#include "explain/reduced.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cfgx {
+
+NodeRanking project_ranking(const NodeRanking& reduced_ranking,
+                            const NodeProjection& projection) {
+  if (reduced_ranking.order.size() != projection.reduced_nodes()) {
+    throw std::invalid_argument(
+        "project_ranking: ranking covers " +
+        std::to_string(reduced_ranking.order.size()) + " supers, projection " +
+        std::to_string(projection.reduced_nodes()));
+  }
+  NodeRanking out;
+  out.order = projection.expand_order(reduced_ranking.order);
+  return out;
+}
+
+ReducedExplainer::ReducedExplainer(std::unique_ptr<Explainer> inner,
+                                   ReduceConfig config)
+    : inner_(std::move(inner)), config_(std::move(config)) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("ReducedExplainer: null inner explainer");
+  }
+}
+
+std::string ReducedExplainer::name() const {
+  return inner_->name() + "+coarsen";
+}
+
+void ReducedExplainer::fit(const Corpus& corpus,
+                           const std::vector<std::size_t>& train_indices) {
+  inner_->fit(corpus, train_indices);
+}
+
+NodeRanking ReducedExplainer::explain(const Acfg& graph) {
+  last_ = reduce_graph(graph, config_);
+  has_last_ = true;
+  const NodeRanking reduced_ranking = inner_->explain(last_.graph);
+  if (reduced_ranking.order.size() != last_.graph.num_nodes()) {
+    throw std::logic_error("ReducedExplainer: inner ranking size mismatch");
+  }
+  return project_ranking(reduced_ranking, last_.projection);
+}
+
+const ReducedGraph& ReducedExplainer::last_reduction() const {
+  if (!has_last_) {
+    throw std::logic_error("ReducedExplainer::last_reduction before explain");
+  }
+  return last_;
+}
+
+}  // namespace cfgx

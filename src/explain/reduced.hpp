@@ -1,0 +1,58 @@
+// Reduce-then-explain adapter: runs any Explainer on the coarsened graph
+// (graph/reduce.hpp) and projects the resulting super-block ranking back to
+// ORIGINAL basic-block ids, so callers — evaluation, serving, the bench
+// sweep — never observe super-block numbering. This is the explain-path
+// speedup for paper-scale graphs: the inner explainer's cost scales with
+// the reduced node count while the returned ranking still covers every
+// original block.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "explain/explainer_api.hpp"
+#include "graph/reduce.hpp"
+
+namespace cfgx {
+
+// Expands a super-block ranking to an original-block ranking via
+// NodeProjection::expand_order. `reduced_ranking.order` must be a
+// permutation of the projection's supers (throws std::invalid_argument on a
+// size mismatch).
+NodeRanking project_ranking(const NodeRanking& reduced_ranking,
+                            const NodeProjection& projection);
+
+class ReducedExplainer : public Explainer {
+ public:
+  // Takes ownership of the inner explainer. Throws std::invalid_argument on
+  // a null inner.
+  explicit ReducedExplainer(std::unique_ptr<Explainer> inner,
+                            ReduceConfig config = {});
+
+  // "<inner>+coarsen"
+  std::string name() const override;
+
+  // Forwards to the inner explainer unchanged: fitting consumes full
+  // corpus graphs (any graph is a valid GNN input, reduced or not), and
+  // the paper's trained artifacts (theta, PG nets) transfer because the
+  // coarse graph keeps the Table-I feature distribution (see the merge
+  // semantics in graph/reduce.hpp).
+  void fit(const Corpus& corpus,
+           const std::vector<std::size_t>& train_indices) override;
+
+  // reduce -> inner explain on the coarse graph -> expand to original ids.
+  NodeRanking explain(const Acfg& graph) override;
+
+  // The reduction produced by the most recent explain() (for benches /
+  // tests reporting reduction ratios). Throws std::logic_error before the
+  // first explain().
+  const ReducedGraph& last_reduction() const;
+
+ private:
+  std::unique_ptr<Explainer> inner_;
+  ReduceConfig config_;
+  ReducedGraph last_;
+  bool has_last_ = false;
+};
+
+}  // namespace cfgx

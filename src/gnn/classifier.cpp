@@ -197,7 +197,23 @@ Matrix GnnClassifier::class_logits(const Matrix& embeddings,
 }
 
 Prediction GnnClassifier::predict(const Acfg& graph) const {
-  return predict_masked(graph.dense_adjacency(), graph.features());
+  // Sparse path: MaskedNormalizedAdjacency(graph) is bit-identical to the
+  // dense normalized_adjacency_csr(dense_adjacency(), features()) pipeline
+  // (see ops.hpp), and the non-zero inv_sqrt count IS the active-node count
+  // under the self-loop policy — so this matches predict_masked(
+  // dense_adjacency(), features()) exactly at O(E log E) instead of O(N^2).
+  const MaskedNormalizedAdjacency frozen(graph);
+  Matrix embeddings;
+  embed_into(frozen.a_hat(), frozen.inv_sqrt_degree(), graph.features(),
+             embeddings);
+  std::size_t active = 0;
+  for (double v : frozen.inv_sqrt_degree()) {
+    if (v != 0.0) ++active;
+  }
+  Prediction prediction;
+  prediction.probabilities = softmax_rows(class_logits(embeddings, active));
+  prediction.predicted_class = argmax_rows(prediction.probabilities)[0];
+  return prediction;
 }
 
 Prediction GnnClassifier::predict_masked(const Matrix& adjacency,

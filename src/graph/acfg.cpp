@@ -20,6 +20,24 @@ void Acfg::add_edge(std::uint32_t src, std::uint32_t dst, EdgeKind kind) {
   edges_.push_back(Edge{src, dst, kind});
 }
 
+void Acfg::set_edges(std::vector<Edge> edges) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_nodes_ || e.dst >= num_nodes_) {
+      throw std::out_of_range("Acfg::set_edges: endpoint out of range");
+    }
+  }
+  std::vector<Edge> sorted = edges;
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("Acfg::set_edges: duplicate edge");
+  }
+  edges_ = std::move(edges);
+}
+
 bool Acfg::has_edge(std::uint32_t src, std::uint32_t dst) const noexcept {
   return std::any_of(edges_.begin(), edges_.end(), [&](const Edge& e) {
     return e.src == src && e.dst == dst;

@@ -134,17 +134,126 @@ MaskedNormalizedAdjacency::MaskedNormalizedAdjacency(const Matrix& adjacency,
     }
     row_ptr[i + 1] = col_idx.size();
   }
+  init_from_structure(n, std::move(row_ptr), std::move(col_idx));
+}
 
-  // Self-loops, degrees and d^{-1/2}: identical operation sequence to the
-  // dense reference (single `+= 1.0`, full-row column-order sum).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (active_[i]) s(i, i) += 1.0;
+MaskedNormalizedAdjacency::MaskedNormalizedAdjacency(const Acfg& graph) {
+  const std::size_t n = graph.num_nodes();
+
+  // Dense-equivalent directed weights: per ordered pair, a Call edge
+  // dominates a coincident Flow edge (the max accumulation of
+  // Acfg::dense_adjacency).
+  struct Entry {
+    std::uint32_t row, col;
+    double weight;
+  };
+  std::vector<Entry> fwd;
+  fwd.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) fwd.push_back({e.src, e.dst, e.weight()});
+  const auto by_row_col = [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  };
+  std::sort(fwd.begin(), fwd.end(), by_row_col);
+  std::vector<Entry> merged;
+  merged.reserve(fwd.size());
+  for (const Entry& e : fwd) {
+    if (!merged.empty() && merged.back().row == e.row &&
+        merged.back().col == e.col) {
+      merged.back().weight = std::max(merged.back().weight, e.weight);
+    } else {
+      merged.push_back(e);
+    }
   }
+  std::vector<Entry> rev;  // A^T entries, sorted by (row, col) of A^T
+  rev.reserve(merged.size());
+  for (const Entry& e : merged) rev.push_back({e.col, e.row, e.weight});
+  std::sort(rev.begin(), rev.end(), by_row_col);
+
+  // Per-row merge of A and A^T in ascending column order, diagonal slot
+  // always present. s keeps the dense operand order A(i,j) + A(j,i) with a
+  // literal 0.0 for a missing side.
+  std::vector<std::size_t> fwd_ptr(n + 1, 0), rev_ptr(n + 1, 0);
+  for (const Entry& e : merged) ++fwd_ptr[e.row + 1];
+  for (const Entry& e : rev) ++rev_ptr[e.row + 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd_ptr[i + 1] += fwd_ptr[i];
+    rev_ptr[i + 1] += rev_ptr[i];
+  }
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  col_idx.reserve(2 * merged.size() + n);
+  s_edge_.reserve(2 * merged.size() + n);
+  active_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t f = fwd_ptr[i], r = rev_ptr[i];
+    bool saw_diag = false;
+    const auto push = [&](std::uint32_t j, double value) {
+      if (!saw_diag && j >= i) {
+        saw_diag = true;
+        if (j != i) {  // structural diagonal even when A has no self-edge
+          col_idx.push_back(static_cast<std::uint32_t>(i));
+          s_edge_.push_back(0.0);
+        }
+      }
+      col_idx.push_back(j);
+      s_edge_.push_back(value);
+      if (value != 0.0) {
+        active_[i] = 1;
+        active_[j] = 1;
+      }
+    };
+    while (f < fwd_ptr[i + 1] || r < rev_ptr[i + 1]) {
+      const bool has_f = f < fwd_ptr[i + 1];
+      const bool has_r = r < rev_ptr[i + 1];
+      if (has_f && has_r && merged[f].col == rev[r].col) {
+        push(merged[f].col, merged[f].weight + rev[r].weight);
+        ++f;
+        ++r;
+      } else if (has_f && (!has_r || merged[f].col < rev[r].col)) {
+        push(merged[f].col, merged[f].weight + 0.0);
+        ++f;
+      } else {
+        push(rev[r].col, 0.0 + rev[r].weight);
+        ++r;
+      }
+    }
+    if (!saw_diag) {
+      col_idx.push_back(static_cast<std::uint32_t>(i));
+      s_edge_.push_back(0.0);
+    }
+    row_ptr[i + 1] = col_idx.size();
+  }
+
+  feature_active_.assign(n, 0);
+  const Matrix& features = graph.features();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      if (features(i, c) != 0.0) {
+        feature_active_[i] = 1;
+        break;
+      }
+    }
+    if (feature_active_[i]) active_[i] = 1;
+  }
+  init_from_structure(n, std::move(row_ptr), std::move(col_idx));
+}
+
+void MaskedNormalizedAdjacency::init_from_structure(
+    std::size_t n, std::vector<std::size_t> row_ptr,
+    std::vector<std::uint32_t> col_idx) {
+  // Degrees and d^{-1/2} over the structural entries in ascending column
+  // order — the same partial sums as the dense full-row sum (skipped
+  // entries are true zeros, all weights non-negative), with the self-loop
+  // joining the diagonal weight in the dense path's single `+ 1.0` add.
   degree_.assign(n, 0.0);
   inv_sqrt_.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double degree = 0.0;
-    for (std::size_t j = 0; j < n; ++j) degree += s(i, j);
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      double term = s_edge_[p];
+      if (col_idx[p] == i && active_[i]) term = s_edge_[p] + 1.0;
+      degree += term;
+    }
     degree_[i] = degree;
     if (degree > 0.0) inv_sqrt_[i] = 1.0 / std::sqrt(degree);
   }
@@ -154,8 +263,12 @@ MaskedNormalizedAdjacency::MaskedNormalizedAdjacency(const Matrix& adjacency,
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
       const std::uint32_t j = col_idx[p];
-      if (j == i) diag_pos_[i] = p;
-      values[p] = s(i, j) * (inv_sqrt_[i] * inv_sqrt_[j]);
+      double sv = s_edge_[p];
+      if (j == i) {
+        diag_pos_[i] = p;
+        if (active_[i]) sv += 1.0;
+      }
+      values[p] = sv * (inv_sqrt_[i] * inv_sqrt_[j]);
     }
   }
 
@@ -262,6 +375,63 @@ std::size_t count_active_nodes(const Matrix& adjacency, const Matrix& features) 
     if (is_active) ++active;
   }
   return active;
+}
+
+std::size_t count_active_nodes(const Acfg& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<char> active(n, 0);
+  for (const Edge& e : graph.edges()) {
+    active[e.src] = 1;
+    active[e.dst] = 1;
+  }
+  const Matrix& features = graph.features();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) continue;
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      if (features(i, c) != 0.0) {
+        active[i] = 1;
+        break;
+      }
+    }
+  }
+  std::size_t count = 0;
+  for (char a : active) count += a != 0;
+  return count;
+}
+
+Acfg masked_subgraph(const Acfg& graph,
+                     const std::vector<std::uint32_t>& kept) {
+  const std::uint32_t n = graph.num_nodes();
+  std::vector<char> keep(n, 0);
+  for (std::uint32_t node : kept) {
+    if (node >= n) {
+      throw std::out_of_range("masked_subgraph: node out of range");
+    }
+    keep[node] = 1;
+  }
+
+  Acfg out(n, graph.feature_count());
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    if (keep[e.src] && keep[e.dst]) edges.push_back(e);
+  }
+  out.set_edges(std::move(edges));
+
+  const Matrix& features = graph.features();
+  Matrix& out_features = out.features();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      out_features(i, c) = features(i, c);
+    }
+  }
+  out.set_label(graph.label());
+  out.set_family(graph.family());
+  for (std::uint32_t node : graph.planted_nodes()) {
+    if (keep[node]) out.mark_planted(node);
+  }
+  return out;
 }
 
 GraphBatch batch_normalized_graphs(const std::vector<const Acfg*>& graphs) {

@@ -1,0 +1,432 @@
+#include "graph/reduce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cfgx {
+namespace {
+
+// Table-I feature indices (mirrors isa/features.hpp AcfgFeature; the graph
+// layer cannot include the isa layer, and the indices are frozen by the
+// paper's Table I).
+constexpr std::size_t kNumericConstants = 0;
+constexpr std::size_t kStringConstants = 1;
+constexpr std::size_t kCallInstructions = 3;
+constexpr std::size_t kArithmeticInstructions = 4;
+constexpr std::size_t kCompareInstructions = 5;
+constexpr std::size_t kTerminationInstructions = 7;
+constexpr std::size_t kDataDeclInstructions = 8;
+constexpr std::size_t kTotalInstructions = 9;
+constexpr std::size_t kOffspring = 10;
+
+}  // namespace
+
+FeatureMergeRules default_acfg_merge_rules() {
+  FeatureMergeRules rules(kAcfgFeatureCount, MergeRule::Sum);
+  rules[kOffspring] = MergeRule::Max;
+  return rules;
+}
+
+std::vector<double> NodeProjection::project_scores(
+    const std::vector<double>& reduced_scores) const {
+  if (reduced_scores.size() != reduced_nodes()) {
+    throw std::invalid_argument(
+        "NodeProjection::project_scores: score count != reduced node count");
+  }
+  std::vector<double> out(original_nodes(), 0.0);
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    for (std::size_t i = 0; i < members[s].size(); ++i) {
+      out[members[s][i]] = reduced_scores[s] * weights[s][i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> NodeProjection::expand_order(
+    const std::vector<std::uint32_t>& super_order) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(original_nodes());
+  std::vector<std::size_t> within;
+  for (const std::uint32_t s : super_order) {
+    if (s >= members.size()) {
+      throw std::out_of_range("NodeProjection::expand_order: super id");
+    }
+    const auto& ms = members[s];
+    const auto& ws = weights[s];
+    within.resize(ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i) within[i] = i;
+    std::stable_sort(within.begin(), within.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return ws[a] > ws[b];  // ties keep ascending-id order
+                     });
+    for (const std::size_t i : within) out.push_back(ms[i]);
+  }
+  return out;
+}
+
+void NodeProjection::validate() const {
+  if (members.size() != weights.size()) {
+    throw std::logic_error("NodeProjection: members/weights size mismatch");
+  }
+  std::vector<char> seen(super_of.size(), 0);
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    if (members[s].empty()) {
+      throw std::logic_error("NodeProjection: empty super-block");
+    }
+    if (members[s].size() != weights[s].size()) {
+      throw std::logic_error("NodeProjection: member/weight row mismatch");
+    }
+    double mass = 0.0;
+    for (std::size_t i = 0; i < members[s].size(); ++i) {
+      const std::uint32_t v = members[s][i];
+      if (v >= super_of.size() || seen[v]) {
+        throw std::logic_error(
+            "NodeProjection: members do not partition the original nodes");
+      }
+      seen[v] = 1;
+      if (super_of[v] != s) {
+        throw std::logic_error("NodeProjection: super_of disagrees with members");
+      }
+      mass += weights[s][i];
+    }
+    if (std::abs(mass - 1.0) > 1e-9) {
+      throw std::logic_error("NodeProjection: weights of super " +
+                             std::to_string(s) + " sum to " +
+                             std::to_string(mass));
+    }
+  }
+  for (std::size_t v = 0; v < seen.size(); ++v) {
+    if (!seen[v]) {
+      throw std::logic_error("NodeProjection: original node " +
+                             std::to_string(v) + " unassigned");
+    }
+  }
+}
+
+ReductionState::ReductionState(const Acfg& graph) {
+  const std::uint32_t n = graph.num_nodes();
+  out_.resize(n);
+  in_.resize(n);
+  alive_.assign(n, 1);
+  members_.resize(n);
+  feature_sums_.resize(n);
+  const Matrix& features = graph.features();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    members_[v] = {v};
+    feature_sums_[v].resize(features.cols());
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      feature_sums_[v][c] = features(v, c);
+    }
+  }
+  for (const Edge& e : graph.edges()) {
+    const std::uint8_t bit = e.kind == EdgeKind::Call ? kCallBit : kFlowBit;
+    add_mask(out_[e.src], e.dst, bit);
+    add_mask(in_[e.dst], e.src, bit);
+  }
+}
+
+std::uint8_t ReductionState::take(EdgeList& list, std::uint32_t key) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const auto& entry, std::uint32_t k) { return entry.first < k; });
+  if (it == list.end() || it->first != key) return 0;
+  const std::uint8_t mask = it->second;
+  list.erase(it);
+  return mask;
+}
+
+void ReductionState::add_mask(EdgeList& list, std::uint32_t key,
+                              std::uint8_t mask) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const auto& entry, std::uint32_t k) { return entry.first < k; });
+  if (it != list.end() && it->first == key) {
+    it->second |= mask;
+  } else {
+    list.insert(it, {key, mask});
+  }
+}
+
+void ReductionState::merge(std::uint32_t winner, std::uint32_t loser) {
+  if (winner == loser || !alive(winner) || !alive(loser)) {
+    throw std::logic_error("ReductionState::merge: bad representatives");
+  }
+  // Edges between the pair become intra-super control flow and vanish.
+  take(out_[winner], loser);
+  take(in_[winner], loser);
+  for (const auto& [nbr, mask] : out_[loser]) {
+    if (nbr == winner || nbr == loser) continue;
+    add_mask(out_[winner], nbr, mask);
+    take(in_[nbr], loser);
+    add_mask(in_[nbr], winner, mask);
+  }
+  for (const auto& [nbr, mask] : in_[loser]) {
+    if (nbr == winner || nbr == loser) continue;
+    add_mask(in_[winner], nbr, mask);
+    take(out_[nbr], loser);
+    add_mask(out_[nbr], winner, mask);
+  }
+  out_[loser].clear();
+  in_[loser].clear();
+  alive_[loser] = 0;
+
+  auto& winner_members = members_[winner];
+  auto& loser_members = members_[loser];
+  winner_members.insert(winner_members.end(), loser_members.begin(),
+                        loser_members.end());
+  loser_members.clear();
+  loser_members.shrink_to_fit();
+
+  auto& wf = feature_sums_[winner];
+  const auto& lf = feature_sums_[loser];
+  for (std::size_t c = 0; c < wf.size(); ++c) wf[c] += lf[c];
+  feature_sums_[loser].clear();
+  ++merges_;
+}
+
+bool LinearChainCollapse::apply(ReductionState& state) const {
+  bool changed = false;
+  const std::uint32_t n = state.num_original();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (!state.alive(u)) continue;
+    // The head absorbs the whole maximal chain in one stop: after merging
+    // v, u's successor list IS v's, so the same test re-applies.
+    for (;;) {
+      const auto& out = state.out(u);
+      if (out.size() != 1 || out[0].second != ReductionState::kFlowBit) break;
+      const std::uint32_t v = out[0].first;
+      if (v == u) break;  // explicit self-loop block; never collapsed
+      const auto& in = state.in(v);
+      if (in.size() != 1 || in[0].first != u ||
+          in[0].second != ReductionState::kFlowBit) {
+        break;  // v is a join point, or the edge carries a Call component
+      }
+      state.merge(u, v);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool BranchDiamondCollapse::apply(ReductionState& state) const {
+  bool changed = false;
+  const std::uint32_t n = state.num_original();
+  // An arm of head u is a block whose only predecessor is u and whose only
+  // successor is a single pure-Flow target != u (no self-loops, no back
+  // edges to the head — merging those would create or drop a loop).
+  // Returns the arm's join target, or n (an impossible id) for a non-arm.
+  const auto arm_target = [&](std::uint32_t u, std::uint32_t x,
+                              std::uint8_t edge_mask) -> std::uint32_t {
+    if (edge_mask != ReductionState::kFlowBit || x == u) return n;
+    const auto& xin = state.in(x);
+    if (xin.size() != 1 || xin[0].first != u ||
+        xin[0].second != ReductionState::kFlowBit) {
+      return n;  // extra predecessors or a Call into the arm
+    }
+    const auto& xout = state.out(x);
+    if (xout.size() != 1 || xout[0].second != ReductionState::kFlowBit) {
+      return n;  // arm branches again, calls out, or dead-ends
+    }
+    const std::uint32_t w = xout[0].first;
+    return (w == x || w == u) ? n : w;
+  };
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (!state.alive(u)) continue;
+    const auto& out = state.out(u);
+    if (out.size() != 2) continue;
+    const std::uint32_t a = out[0].first;
+    const std::uint32_t b = out[1].first;
+    const std::uint32_t ta = arm_target(u, a, out[0].second);
+    const std::uint32_t tb = arm_target(u, b, out[1].second);
+    if (ta < n && ta == tb) {
+      // if/else diamond: both arms fold into the head, leaving u -> join.
+      state.merge(u, a);
+      state.merge(u, b);
+      changed = true;
+    } else if (ta == b) {
+      // if-without-else triangle: u -> {a, b} with a -> b.
+      state.merge(u, a);
+      changed = true;
+    } else if (tb == a) {
+      state.merge(u, b);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool NopSledCollapse::nop_like(const std::vector<double>& feature_sums) {
+  if (feature_sums.size() != kAcfgFeatureCount) return false;
+  return feature_sums[kNumericConstants] == 0.0 &&
+         feature_sums[kStringConstants] == 0.0 &&
+         feature_sums[kCallInstructions] == 0.0 &&
+         feature_sums[kArithmeticInstructions] == 0.0 &&
+         feature_sums[kCompareInstructions] == 0.0 &&
+         feature_sums[kTerminationInstructions] == 0.0 &&
+         feature_sums[kDataDeclInstructions] == 0.0 &&
+         feature_sums[kTotalInstructions] > 0.0;
+}
+
+bool NopSledCollapse::apply(ReductionState& state) const {
+  bool changed = false;
+  const std::uint32_t n = state.num_original();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!state.alive(s)) continue;
+    const auto& out = state.out(s);
+    if (out.size() != 1 || out[0].second != ReductionState::kFlowBit) continue;
+    const std::uint32_t t = out[0].first;
+    if (t == s) continue;  // self-looping sled (malicious motif): keep
+    if (!nop_like(state.feature_sums(s))) continue;
+    // The padded code absorbs its padding.
+    state.merge(t, s);
+    changed = true;
+  }
+  return changed;
+}
+
+std::vector<std::unique_ptr<ReductionPass>> default_passes(
+    const ReduceConfig& config) {
+  std::vector<std::unique_ptr<ReductionPass>> passes;
+  if (config.collapse_linear_chains) {
+    passes.push_back(std::make_unique<LinearChainCollapse>());
+  }
+  if (config.collapse_branch_diamonds) {
+    passes.push_back(std::make_unique<BranchDiamondCollapse>());
+  }
+  if (config.collapse_nop_sleds) {
+    passes.push_back(std::make_unique<NopSledCollapse>());
+  }
+  return passes;
+}
+
+ReducedGraph reduce_graph(const Acfg& graph, const ReduceConfig& config) {
+  const std::size_t feature_count = graph.feature_count();
+  FeatureMergeRules rules = config.merge_rules;
+  if (rules.empty()) {
+    rules = feature_count == kAcfgFeatureCount
+                ? default_acfg_merge_rules()
+                : FeatureMergeRules(feature_count, MergeRule::Sum);
+  } else if (rules.size() != feature_count) {
+    throw std::invalid_argument(
+        "reduce_graph: merge_rules size != feature_count");
+  }
+
+  ReductionState state(graph);
+  const auto passes = default_passes(config);
+  ReducedGraph result;
+  while (config.max_rounds == 0 || result.rounds < config.max_rounds) {
+    bool changed = false;
+    for (const auto& pass : passes) {
+      changed = pass->apply(state) || changed;
+    }
+    if (!changed) break;
+    ++result.rounds;
+  }
+
+  // Materialize: surviving representatives become super-blocks, renumbered
+  // by their smallest original member so the output ids are canonical.
+  const std::uint32_t n = graph.num_nodes();
+  std::vector<std::uint32_t> reps;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (state.alive(v)) reps.push_back(v);
+  }
+  std::vector<std::vector<std::uint32_t>> sorted_members(reps.size());
+  for (std::size_t s = 0; s < reps.size(); ++s) {
+    sorted_members[s] = state.members_of(reps[s]);
+    std::sort(sorted_members[s].begin(), sorted_members[s].end());
+  }
+  std::vector<std::size_t> order(reps.size());
+  for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sorted_members[a][0] < sorted_members[b][0];
+  });
+  std::vector<std::uint32_t> new_id(n, 0);  // rep -> super id
+  NodeProjection& projection = result.projection;
+  projection.super_of.assign(n, 0);
+  projection.members.resize(reps.size());
+  projection.weights.resize(reps.size());
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    const std::size_t src = order[s];
+    new_id[reps[src]] = static_cast<std::uint32_t>(s);
+    projection.members[s] = std::move(sorted_members[src]);
+    for (const std::uint32_t v : projection.members[s]) {
+      projection.super_of[v] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Projection weights: each member's share of its super's score.
+  const Matrix& features = graph.features();
+  for (std::size_t s = 0; s < projection.members.size(); ++s) {
+    const auto& ms = projection.members[s];
+    auto& ws = projection.weights[s];
+    ws.assign(ms.size(), 1.0 / static_cast<double>(ms.size()));
+    if (config.weighting == ProjectionWeighting::InstructionShare &&
+        feature_count == kAcfgFeatureCount) {
+      double total = 0.0;
+      for (const std::uint32_t v : ms) total += features(v, kTotalInstructions);
+      if (total > 0.0) {
+        for (std::size_t i = 0; i < ms.size(); ++i) {
+          ws[i] = features(ms[i], kTotalInstructions) / total;
+        }
+      }
+    }
+  }
+
+  // The coarse graph: merged features, surviving edges, carried metadata.
+  Acfg reduced(static_cast<std::uint32_t>(reps.size()), feature_count);
+  for (std::size_t s = 0; s < projection.members.size(); ++s) {
+    const auto& ms = projection.members[s];
+    for (std::size_t c = 0; c < feature_count; ++c) {
+      double acc = features(ms[0], c);
+      switch (rules[c]) {
+        case MergeRule::Sum:
+          for (std::size_t i = 1; i < ms.size(); ++i) acc += features(ms[i], c);
+          break;
+        case MergeRule::Max:
+          for (std::size_t i = 1; i < ms.size(); ++i) {
+            acc = std::max(acc, features(ms[i], c));
+          }
+          break;
+        case MergeRule::Count:
+          acc = static_cast<double>(ms.size());
+          break;
+      }
+      reduced.features()(static_cast<std::uint32_t>(s), c) = acc;
+    }
+  }
+  std::vector<Edge> edges;
+  for (const std::uint32_t rep : reps) {
+    for (const auto& [nbr, mask] : state.out(rep)) {
+      if (mask & ReductionState::kFlowBit) {
+        edges.push_back(Edge{new_id[rep], new_id[nbr], EdgeKind::Flow});
+      }
+      if (mask & ReductionState::kCallBit) {
+        edges.push_back(Edge{new_id[rep], new_id[nbr], EdgeKind::Call});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  reduced.set_edges(std::move(edges));
+  reduced.set_label(graph.label());
+  reduced.set_family(graph.family());
+  std::vector<char> super_planted(reps.size(), 0);
+  for (const std::uint32_t v : graph.planted_nodes()) {
+    super_planted[projection.super_of[v]] = 1;
+  }
+  for (std::size_t s = 0; s < super_planted.size(); ++s) {
+    if (super_planted[s]) {
+      reduced.mark_planted(static_cast<std::uint32_t>(s));
+    }
+  }
+  result.graph = std::move(reduced);
+  return result;
+}
+
+}  // namespace cfgx

@@ -1,0 +1,241 @@
+// CFG coarsening pre-pass (ROADMAP item 3): rewrite passes that collapse
+// single-entry single-exit control-flow regions — linear chains
+// (straight-line control flow split across blocks), if/else diamonds and
+// if-without-else triangles whose arms are trivial, and semantic-NOP sleds
+// (padding with no data-flow effect) — into super-blocks whose ACFG
+// features are aggregated with per-feature merge rules.
+//
+// The design follows popart's `patterns/`: each rewrite is a small
+// composable pass object sharing one mutable ReductionState; reduce_graph
+// runs the pass list to a fixpoint and then materializes a compact Acfg
+// plus a NodeProjection mapping every super-block back to the original
+// basic blocks it absorbed (with weights). Explainers run on the reduced
+// graph; scores and rankings project back to original block ids, so
+// callers never see super-block numbering. The passes compose: collapsing
+// an inner diamond leaves a chain, collapsing a chain exposes an outer
+// diamond, so nested conditionals drain over the fixpoint rounds.
+//
+// Merge semantics: a super-block models one single-entry single-exit
+// region executed as a unit. Instruction-count features add (a merged
+// region simply contains more instructions, so summed counts stay in the
+// distribution the GNN was trained on); the structural #offspring feature
+// takes the max (the super inherits the widest fan-out of its members);
+// edges internal to a super vanish exactly like control flow internal to a
+// basic block. Only pure-Flow structure is ever collapsed — call edges,
+// joins with outside predecessors, branch arms with extra predecessors or
+// calls, and explicit self-loop blocks (a malicious motif) survive
+// reduction untouched.
+//
+// Determinism: passes sweep nodes in ascending id order and the
+// materialized super-blocks are renumbered by their smallest original
+// member, so the output is a pure function of the input graph. For
+// integer-valued features (all real ACFGs) the summed features are exact,
+// making reduction commute with node relabeling bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/acfg.hpp"
+
+namespace cfgx {
+
+// How one feature column aggregates when blocks merge.
+enum class MergeRule : std::uint8_t {
+  Sum,    // instruction counts: the super simply contains more instructions
+  Max,    // structural upper bounds (#offspring)
+  Count,  // the number of original blocks absorbed
+};
+
+// One rule per feature column.
+using FeatureMergeRules = std::vector<MergeRule>;
+
+// Table-I defaults: Sum everywhere except #offspring (Max).
+FeatureMergeRules default_acfg_merge_rules();
+
+// How a super-block's score is distributed over its members when
+// projecting back to original blocks.
+enum class ProjectionWeighting : std::uint8_t {
+  Uniform,           // every member inherits an equal share
+  InstructionShare,  // share proportional to #total instructions
+};
+
+struct ReduceConfig {
+  // Empty = default_acfg_merge_rules() for 12-column graphs, all-Sum
+  // otherwise. A non-empty list must match the graph's feature_count.
+  FeatureMergeRules merge_rules;
+  bool collapse_linear_chains = true;
+  bool collapse_branch_diamonds = true;
+  bool collapse_nop_sleds = true;
+  // 0 = run the pass list to a fixpoint; otherwise at most this many
+  // rounds over the pass list.
+  std::size_t max_rounds = 0;
+  ProjectionWeighting weighting = ProjectionWeighting::Uniform;
+};
+
+// Super-block -> original-block mapping recorded during reduction.
+// `members[s]` lists the original ids absorbed by super s (ascending);
+// `weights[s]` (same shape, summing to 1 per super) says how s's score is
+// shared among them; `super_of[v]` inverts the mapping. Together they form
+// a partition of the original node set.
+struct NodeProjection {
+  std::vector<std::uint32_t> super_of;              // size original_nodes()
+  std::vector<std::vector<std::uint32_t>> members;  // size reduced_nodes()
+  std::vector<std::vector<double>> weights;         // parallel to members
+
+  std::size_t original_nodes() const noexcept { return super_of.size(); }
+  std::size_t reduced_nodes() const noexcept { return members.size(); }
+
+  // Distributes super-block scores over original blocks by weight; total
+  // score mass is conserved (weights sum to 1 per super). `reduced_scores`
+  // must have reduced_nodes() entries.
+  std::vector<double> project_scores(
+      const std::vector<double>& reduced_scores) const;
+
+  // Expands an importance ordering of super-blocks into an ordering of
+  // original blocks: supers keep their relative order; within a super,
+  // members are ordered by descending weight, ties by ascending id. Every
+  // original node appears exactly once when `super_order` is a permutation
+  // of the supers.
+  std::vector<std::uint32_t> expand_order(
+      const std::vector<std::uint32_t>& super_order) const;
+
+  // Throws std::logic_error unless members/weights/super_of describe a
+  // partition of [0, original_nodes()) with per-super weights summing to ~1.
+  void validate() const;
+};
+
+struct ReducedGraph {
+  Acfg graph;  // the coarse graph (label/family/planted carried over)
+  NodeProjection projection;
+  std::size_t rounds = 0;  // pass-list rounds until fixpoint
+
+  std::size_t original_nodes() const noexcept {
+    return projection.original_nodes();
+  }
+  // reduced / original node count; 1.0 for an irreducible graph.
+  double reduction_ratio() const noexcept {
+    return projection.original_nodes() == 0
+               ? 1.0
+               : static_cast<double>(projection.reduced_nodes()) /
+                     static_cast<double>(projection.original_nodes());
+  }
+};
+
+// Mutable coarsening state shared by the passes: union-find of merged
+// blocks plus kind-masked adjacency maps over the surviving
+// representatives. Passes inspect it through the read API and rewrite it
+// exclusively through merge().
+class ReductionState {
+ public:
+  explicit ReductionState(const Acfg& graph);
+
+  std::uint32_t num_original() const noexcept {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  bool alive(std::uint32_t rep) const { return alive_.at(rep) != 0; }
+
+  // Kind masks: bit 0 = Flow, bit 1 = Call.
+  static constexpr std::uint8_t kFlowBit = 1;
+  static constexpr std::uint8_t kCallBit = 2;
+  const std::vector<std::pair<std::uint32_t, std::uint8_t>>& out(
+      std::uint32_t rep) const {
+    return out_.at(rep);
+  }
+  const std::vector<std::pair<std::uint32_t, std::uint8_t>>& in(
+      std::uint32_t rep) const {
+    return in_.at(rep);
+  }
+
+  // Running per-representative feature sums (always Sum-rule, regardless of
+  // the configured merge rules) — the cheap signal passes use for
+  // "semantic-NOP-like" tests.
+  const std::vector<double>& feature_sums(std::uint32_t rep) const {
+    return feature_sums_.at(rep);
+  }
+
+  // Absorbs `loser` into `winner` (both alive representatives, distinct):
+  // neighbours are re-pointed at the winner with kind masks unioned, edges
+  // between the two vanish (control flow internal to the new super-block),
+  // and the loser's members/feature sums fold into the winner's.
+  void merge(std::uint32_t winner, std::uint32_t loser);
+
+  std::size_t merges() const noexcept { return merges_; }
+  const std::vector<std::uint32_t>& members_of(std::uint32_t rep) const {
+    return members_.at(rep);
+  }
+
+ private:
+  using EdgeList = std::vector<std::pair<std::uint32_t, std::uint8_t>>;
+  static std::uint8_t take(EdgeList& list, std::uint32_t key);
+  static void add_mask(EdgeList& list, std::uint32_t key, std::uint8_t mask);
+
+  std::vector<EdgeList> out_;  // sorted by neighbour rep id
+  std::vector<EdgeList> in_;
+  std::vector<char> alive_;
+  std::vector<std::vector<std::uint32_t>> members_;
+  std::vector<std::vector<double>> feature_sums_;
+  std::size_t merges_ = 0;
+};
+
+// A composable rewrite pass (popart patterns shape): sweep the current
+// state once, merge every match, report whether anything changed.
+class ReductionPass {
+ public:
+  virtual ~ReductionPass() = default;
+  virtual const char* name() const noexcept = 0;
+  virtual bool apply(ReductionState& state) const = 0;
+};
+
+// Collapses maximal linear chains: u is merged with its unique Flow
+// successor v when v is u's only successor, u is v's only predecessor, and
+// the connecting edge is pure Flow (no Call component, no self-loops on
+// either side). The head of the chain absorbs the tail.
+class LinearChainCollapse : public ReductionPass {
+ public:
+  const char* name() const noexcept override { return "linear-chain"; }
+  bool apply(ReductionState& state) const override;
+};
+
+// Collapses trivial branch regions into their branch head. Two shapes:
+//   * diamond: u -> {a, b} -> w where both arms a, b have u as their only
+//     predecessor and w as their only successor (pure Flow throughout);
+//   * triangle (if-without-else): u -> {a, w} where arm a has u as its only
+//     predecessor and w as its only successor.
+// The head absorbs the arm blocks; the join w survives (it may have other
+// predecessors, and if it does not, the linear-chain pass folds it into u
+// on the next round). Arms that carry Call edges, have extra predecessors,
+// or loop back to the head are never touched.
+class BranchDiamondCollapse : public ReductionPass {
+ public:
+  const char* name() const noexcept override { return "branch-diamond"; }
+  bool apply(ReductionState& state) const override;
+};
+
+// Collapses semantic-NOP sleds: a block whose accumulated features contain
+// no numeric/string constants and no call, arithmetic, compare,
+// termination or data-declaration instructions (mov/xchg/nop padding only)
+// is folded into its unique Flow successor. The successor absorbs the
+// sled, so the padding's importance lands on the code it pads.
+class NopSledCollapse : public ReductionPass {
+ public:
+  const char* name() const noexcept override { return "nop-sled"; }
+  bool apply(ReductionState& state) const override;
+
+  // Exposed for tests: the "semantic-NOP-like" predicate over (summed)
+  // Table-I features. False for non-12-column feature layouts.
+  static bool nop_like(const std::vector<double>& feature_sums);
+};
+
+// The default pass list honouring `config` (chain collapse first — it
+// feeds the sled pass shorter graphs).
+std::vector<std::unique_ptr<ReductionPass>> default_passes(
+    const ReduceConfig& config);
+
+// Runs the passes to a fixpoint and materializes the coarse graph +
+// projection. Throws std::invalid_argument when config.merge_rules is
+// non-empty but does not match the graph's feature_count.
+ReducedGraph reduce_graph(const Acfg& graph, const ReduceConfig& config = {});
+
+}  // namespace cfgx

@@ -61,9 +61,14 @@ Acfg to_acfg(const LiftedCfg& cfg, int label, std::string family) {
   graph.set_label(label);
   graph.set_family(std::move(family));
 
+  std::vector<Edge> edges;
+  edges.reserve(cfg.edges().size());
   for (const CfgEdge& edge : cfg.edges()) {
-    graph.add_edge(edge.src, edge.dst, edge.kind);
+    edges.push_back(Edge{edge.src, edge.dst, edge.kind});
   }
+  // Bulk install keeps the lifter's edge order (explainers index edges by
+  // position) while avoiding add_edge's quadratic duplicate scan.
+  graph.set_edges(std::move(edges));
 
   const auto degrees = graph.out_degrees();
   for (std::uint32_t b = 0; b < cfg.block_count(); ++b) {

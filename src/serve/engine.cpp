@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "explain/cfg_explainer.hpp"
+#include "explain/reduced.hpp"
 #include "graph/ops.hpp"
 #include "nn/loss.hpp"
 #include "nn/simd.hpp"
@@ -390,20 +391,35 @@ void ExplanationEngine::serve_batch(std::vector<Request>& batch) {
   }
   if (live.empty()) return;
 
-  // --- prepare: normalize + freeze each graph's CSR, lease scratch ---
+  // --- prepare: (optionally coarsen,) normalize + freeze each graph's
+  // CSR, lease scratch. In reduce-then-explain mode everything downstream
+  // (forward pass, explainers) sees the coarse graphs; `reductions` keeps
+  // the projections for the final ranking expansion.
   Workspace& workspace = Workspace::local();
+  std::vector<ReducedGraph> reductions;  // parallel to `live` when reducing
   std::vector<MaskedNormalizedAdjacency> frozen;
   std::vector<std::size_t> active_counts;
   std::vector<const CsrMatrix*> blocks;
   std::size_t total_nodes = 0;
+  const auto graph_for = [&](std::size_t k) -> const Acfg& {
+    return config_.reduction ? reductions[k].graph : batch[live[k]].graph;
+  };
   Workspace::Lease features = [&] {
     obs::ScopedDurationTimer timer(prepare_h);
+    if (config_.reduction) {
+      reductions.reserve(live.size());
+      for (std::size_t i : live) {
+        reductions.push_back(reduce_graph(batch[i].graph, *config_.reduction));
+      }
+    }
     frozen.reserve(live.size());
     active_counts.reserve(live.size());
     blocks.reserve(live.size());
-    for (std::size_t i : live) {
-      const Acfg& graph = batch[i].graph;
-      frozen.emplace_back(graph.dense_adjacency(), graph.features());
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Acfg& graph = graph_for(k);
+      // Edge-list construction — bit-identical to the dense path (ops.hpp)
+      // without the O(N^2) densification.
+      frozen.emplace_back(graph);
       std::size_t active = 0;
       for (double v : frozen.back().inv_sqrt_degree()) {
         if (v != 0.0) ++active;
@@ -415,8 +431,8 @@ void ExplanationEngine::serve_batch(std::vector<Request>& batch) {
     Workspace::Lease stacked =
         workspace.acquire(total_nodes, gnn_->config().feature_dim);
     std::size_t row_base = 0;
-    for (std::size_t i : live) {
-      const Matrix& graph_features = batch[i].graph.features();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Matrix& graph_features = graph_for(k).features();
       for (std::size_t r = 0; r < graph_features.rows(); ++r) {
         for (std::size_t c = 0; c < graph_features.cols(); ++c) {
           stacked.get()(row_base + r, c) = graph_features(r, c);
@@ -477,7 +493,7 @@ void ExplanationEngine::serve_batch(std::vector<Request>& batch) {
 
   std::vector<const Acfg*> graphs;
   graphs.reserve(to_explain.size());
-  for (std::size_t k : to_explain) graphs.push_back(&batch[live[k]].graph);
+  for (std::size_t k : to_explain) graphs.push_back(&graph_for(k));
   const std::vector<ExplainOutcome> outcomes =
       explain_batch_outcomes(graphs, explain_pool_, factory_);
 
@@ -494,7 +510,12 @@ void ExplanationEngine::serve_batch(std::vector<Request>& batch) {
     } else if (outcomes[j].ok()) {
       response.status = ResponseStatus::Ok;
       response.prediction = predictions[k];
-      response.ranking = outcomes[j].ranking;
+      // Reduced mode: the explainer ranked super-blocks; hand the caller a
+      // ranking over its ORIGINAL node ids.
+      response.ranking =
+          config_.reduction
+              ? project_ranking(outcomes[j].ranking, reductions[k].projection)
+              : outcomes[j].ranking;
     } else {
       response.status = ResponseStatus::ExplainError;
       response.prediction = predictions[k];

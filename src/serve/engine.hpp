@@ -70,6 +70,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -78,6 +79,7 @@
 #include "explain/parallel.hpp"
 #include "gnn/classifier.hpp"
 #include "graph/acfg.hpp"
+#include "graph/reduce.hpp"
 #include "obs/slo.hpp"
 #include "util/thread_pool.hpp"
 
@@ -119,6 +121,15 @@ struct ServeConfig {
   std::size_t slow_exemplar_top_k = 10;
   // SLO objectives fed from every finished request (see obs/slo.hpp).
   obs::SloConfig slo;
+  // Reduce-then-explain mode for paper-scale graphs: when set, each
+  // admitted graph is coarsened (graph/reduce.hpp) during prepare, the
+  // forward pass and the explainer run on the coarse graph, and the
+  // response ranking is expanded back to ORIGINAL basic-block ids — callers
+  // observe the same node id space in both modes. The reported prediction
+  // is the classifier's verdict on the coarse graph (the reduction is
+  // designed to preserve the Table-I feature distribution; the bench sweep
+  // reports the measured fidelity@k against full-graph explanations).
+  std::optional<ReduceConfig> reduction;
 };
 
 // One over-threshold request, enough to reconstruct its story without the

@@ -1,0 +1,219 @@
+// ReducedExplainer contract + differential tests: every explainer wrapped
+// in reduce-then-explain mode must return a ranking over ORIGINAL basic
+// blocks, and on an irreducible graph the wrapper must reproduce the
+// full-graph explanation exactly (the reduction is the identity there, so
+// any disagreement is a projection bug).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "explain/baselines.hpp"
+#include "explain/cfg_explainer.hpp"
+#include "explain/gnnexplainer.hpp"
+#include "explain/pgexplainer.hpp"
+#include "explain/reduced.hpp"
+#include "explain/subgraphx.hpp"
+#include "gnn/trainer.hpp"
+
+namespace cfgx {
+namespace {
+
+class ReducedExplainerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusConfig corpus_config;
+    corpus_config.samples_per_family = 3;
+    corpus_config.seed = 33;
+    corpus_ = new Corpus(generate_corpus(corpus_config));
+    std::vector<std::size_t> all(corpus_->size());
+    std::iota(all.begin(), all.end(), 0u);
+    train_ = new std::vector<std::size_t>(all);
+
+    GnnConfig gnn_config;
+    gnn_config.gcn_dims = {12, 10};
+    Rng rng(7);
+    gnn_ = new GnnClassifier(gnn_config, rng);
+    GnnTrainConfig config;
+    config.epochs = 15;
+    train_gnn(*gnn_, *corpus_, all, config);
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete corpus_;
+    delete gnn_;
+    train_ = nullptr;
+    corpus_ = nullptr;
+    gnn_ = nullptr;
+  }
+
+  // The first corpus graph the coarsener genuinely shrinks, so the
+  // "ranking covers ORIGINAL ids" assertions exercise a real reduction.
+  static const Acfg& sample_graph() {
+    for (std::size_t i = 0; i < corpus_->size(); ++i) {
+      const Acfg& g = corpus_->graph(i);
+      if (reduce_graph(g).graph.num_nodes() < g.num_nodes()) return g;
+    }
+    throw std::logic_error("no reducible graph in the test corpus");
+  }
+
+  // An irreducible graph (every block has branching flow or calls and
+  // semantic features; the 1 -> 2 cross edge keeps the 0 -> {1,2} -> 3
+  // region from matching the diamond pass) whose edges are ALREADY in the
+  // canonical sorted order reduce_graph emits, so reduction is the exact
+  // identity.
+  static Acfg irreducible_graph() {
+    Acfg g(5);
+    g.set_edges({Edge{0, 1, EdgeKind::Flow}, Edge{0, 2, EdgeKind::Flow},
+                 Edge{1, 2, EdgeKind::Flow}, Edge{1, 3, EdgeKind::Flow},
+                 Edge{2, 3, EdgeKind::Flow}, Edge{3, 4, EdgeKind::Call},
+                 Edge{4, 0, EdgeKind::Call}});
+    for (std::uint32_t v = 0; v < 5; ++v) {
+      g.features()(v, 4) = 1.0 + v;  // #arithmetic: never NOP-like
+      g.features()(v, 9) = 2.0 + v;
+    }
+    g.set_label(0);
+    return g;
+  }
+
+  static void expect_valid_original_ranking(const NodeRanking& ranking,
+                                            const Acfg& graph) {
+    ASSERT_EQ(ranking.order.size(), graph.num_nodes());
+    std::set<std::uint32_t> unique(ranking.order.begin(), ranking.order.end());
+    EXPECT_EQ(unique.size(), graph.num_nodes());
+    for (std::uint32_t v : ranking.order) EXPECT_LT(v, graph.num_nodes());
+  }
+
+  static Corpus* corpus_;
+  static std::vector<std::size_t>* train_;
+  static GnnClassifier* gnn_;
+};
+
+Corpus* ReducedExplainerFixture::corpus_ = nullptr;
+std::vector<std::size_t>* ReducedExplainerFixture::train_ = nullptr;
+GnnClassifier* ReducedExplainerFixture::gnn_ = nullptr;
+
+TEST_F(ReducedExplainerFixture, NameAndNullChecks) {
+  ReducedExplainer reduced(std::make_unique<DegreeExplainer>());
+  EXPECT_EQ(reduced.name(), "Degree+coarsen");
+  EXPECT_THROW(ReducedExplainer(nullptr), std::invalid_argument);
+  EXPECT_THROW(reduced.last_reduction(), std::logic_error);
+}
+
+// All four explainers: the reduced-mode ranking is a permutation of the
+// ORIGINAL node ids of a corpus graph (which reduction genuinely shrinks).
+TEST_F(ReducedExplainerFixture, CfgExplainerRanksOriginalBlocks) {
+  ExplainerTrainConfig train_config;
+  train_config.epochs = 30;
+  auto inner = std::make_unique<CfgExplainer>(*gnn_, train_config);
+  ReducedExplainer reduced(std::move(inner));
+  reduced.fit(*corpus_, *train_);
+  const NodeRanking ranking = reduced.explain(sample_graph());
+  expect_valid_original_ranking(ranking, sample_graph());
+  EXPECT_LT(reduced.last_reduction().graph.num_nodes(),
+            sample_graph().num_nodes());
+  EXPECT_LT(reduced.last_reduction().reduction_ratio(), 1.0);
+}
+
+TEST_F(ReducedExplainerFixture, GnnExplainerRanksOriginalBlocks) {
+  GnnExplainerConfig config;
+  config.iterations = 10;
+  ReducedExplainer reduced(std::make_unique<GnnExplainer>(*gnn_, config));
+  const NodeRanking ranking = reduced.explain(sample_graph());
+  expect_valid_original_ranking(ranking, sample_graph());
+}
+
+TEST_F(ReducedExplainerFixture, PgExplainerRanksOriginalBlocks) {
+  PgExplainerConfig config;
+  config.epochs = 2;
+  ReducedExplainer reduced(std::make_unique<PgExplainer>(*gnn_, config));
+  reduced.fit(*corpus_, *train_);
+  const NodeRanking ranking = reduced.explain(sample_graph());
+  expect_valid_original_ranking(ranking, sample_graph());
+}
+
+TEST_F(ReducedExplainerFixture, SubgraphXRanksOriginalBlocks) {
+  SubgraphXConfig config;
+  config.mcts_iterations = 4;
+  config.shapley_samples = 2;
+  ReducedExplainer reduced(std::make_unique<SubgraphX>(*gnn_, config));
+  const NodeRanking ranking = reduced.explain(sample_graph());
+  expect_valid_original_ranking(ranking, sample_graph());
+}
+
+// Differential: on an irreducible graph the wrapper must equal the inner
+// explainer's full-graph output exactly, for every deterministic explainer.
+TEST_F(ReducedExplainerFixture, IrreducibleGraphIsExactDifferentialMatch) {
+  const Acfg g = irreducible_graph();
+  {
+    const ReducedGraph r = reduce_graph(g);
+    ASSERT_EQ(r.graph.num_nodes(), g.num_nodes());
+    ASSERT_EQ(r.graph, g);  // identity reduction, bit for bit
+  }
+
+  {
+    ExplainerTrainConfig train_config;
+    train_config.epochs = 30;
+    CfgExplainer full(*gnn_, train_config);
+    full.fit(*corpus_, *train_);
+    auto inner = std::make_unique<CfgExplainer>(*gnn_, train_config);
+    ReducedExplainer reduced(std::move(inner));
+    reduced.fit(*corpus_, *train_);
+    EXPECT_EQ(reduced.explain(g).order, full.explain(g).order);
+  }
+  {
+    GnnExplainerConfig config;
+    config.iterations = 10;
+    GnnExplainer full(*gnn_, config);
+    ReducedExplainer reduced(std::make_unique<GnnExplainer>(*gnn_, config));
+    EXPECT_EQ(reduced.explain(g).order, full.explain(g).order);
+  }
+  {
+    PgExplainerConfig config;
+    config.epochs = 2;
+    PgExplainer full(*gnn_, config);
+    full.fit(*corpus_, *train_);
+    ReducedExplainer reduced(std::make_unique<PgExplainer>(*gnn_, config));
+    reduced.fit(*corpus_, *train_);
+    EXPECT_EQ(reduced.explain(g).order, full.explain(g).order);
+  }
+  {
+    SubgraphXConfig config;
+    config.mcts_iterations = 4;
+    config.shapley_samples = 2;
+    SubgraphX full(*gnn_, config);
+    ReducedExplainer reduced(std::make_unique<SubgraphX>(*gnn_, config));
+    EXPECT_EQ(reduced.explain(g).order, full.explain(g).order);
+  }
+}
+
+// project_ranking rejects a ranking that does not cover the supers.
+TEST_F(ReducedExplainerFixture, ProjectRankingSizeMismatchThrows) {
+  const ReducedGraph r = reduce_graph(sample_graph());
+  NodeRanking wrong;
+  wrong.order = {0};
+  if (r.graph.num_nodes() > 1) {
+    EXPECT_THROW(project_ranking(wrong, r.projection), std::invalid_argument);
+  }
+}
+
+// Members of one super-block expand contiguously, in descending weight.
+TEST_F(ReducedExplainerFixture, ExpansionKeepsSuperMembersAdjacent) {
+  ReducedExplainer reduced(std::make_unique<DegreeExplainer>());
+  const NodeRanking ranking = reduced.explain(sample_graph());
+  const NodeProjection& projection = reduced.last_reduction().projection;
+  std::size_t pos = 0;
+  while (pos < ranking.order.size()) {
+    const std::uint32_t super = projection.super_of[ranking.order[pos]];
+    const std::size_t size = projection.members[super].size();
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(projection.super_of[ranking.order[pos + i]], super);
+    }
+    pos += size;
+  }
+}
+
+}  // namespace
+}  // namespace cfgx

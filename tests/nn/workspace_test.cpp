@@ -259,6 +259,54 @@ TEST(WorkspaceTest, MixedSizeServingTrafficPlateausRetainedBytes) {
   EXPECT_LT(second_window, after_spike);
 }
 
+// Paper-scale regression: steady-state serving traffic that includes one
+// giant graph (n = 7352, the largest CFG in the paper's dataset) must run
+// allocation-free once warm, and retained bytes must plateau — the giant
+// buffers are right-sized every cycle, so they are never trimmed, and the
+// pool settles at the giant working set instead of growing without bound.
+TEST(WorkspaceTest, PaperScaleGiantGraphSteadyStateIsAllocationFree) {
+  const bool saved = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto& allocated =
+      obs::MetricsRegistry::global().counter("workspace.bytes_allocated");
+
+  Workspace workspace;
+  workspace.set_trim_after(16);
+
+  auto serve_cycle = [&](std::size_t nodes) {
+    // Rough shape of one paper-scale explanation: features, two GCN layer
+    // activations, and a score column.
+    Workspace::Lease f = workspace.acquire(nodes, 12);
+    Workspace::Lease h0 = workspace.acquire(nodes, 32);
+    Workspace::Lease h1 = workspace.acquire(nodes, 16);
+    Workspace::Lease s = workspace.acquire(nodes, 1);
+  };
+
+  const std::size_t sizes[] = {64, 256, 7352, 128};  // giant in the mix
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t n : sizes) serve_cycle(n);
+  }
+
+  // Steady state: every shape has been seen, so no cycle allocates.
+  const std::uint64_t allocated_before = allocated.value();
+  const std::size_t retained_before = workspace.bytes_retained();
+  std::size_t retained_peak = 0;
+  const int cycles = 2 * static_cast<int>(workspace.trim_after());
+  for (int round = 0; round < cycles; ++round) {
+    for (std::size_t n : sizes) serve_cycle(n);
+    retained_peak = std::max(retained_peak, workspace.bytes_retained());
+  }
+  EXPECT_EQ(allocated.value(), allocated_before)
+      << "steady-state paper-scale traffic must not touch the heap";
+  // Plateau: after trim_after cycles with the giant still in the mix, the
+  // pool neither grows nor sheds the giant's right-sized buffers.
+  EXPECT_EQ(workspace.bytes_retained(), retained_before);
+  EXPECT_EQ(retained_peak, retained_before);
+  EXPECT_GE(retained_before, 7352u * 32u * sizeof(double));
+
+  obs::set_metrics_enabled(saved);
+}
+
 TEST(MatrixApply, TemplateAndStdFunctionOverloadsAgree) {
   Matrix a{{-1.5, 0.0, 2.0}, {3.0, -0.25, -0.0}};
   Matrix b = a;

@@ -17,6 +17,8 @@
 #include "dataset/corpus.hpp"
 #include "explain/baselines.hpp"
 #include "explain/cfg_explainer.hpp"
+#include "explain/reduced.hpp"
+#include "graph/reduce.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -263,6 +265,46 @@ TEST_F(EngineTest, SteadyStateServingIsWorkspaceAllocFree) {
   EXPECT_EQ(allocated.value(), allocated_before);
 
   obs::set_metrics_enabled(saved);
+}
+
+// Reduce-then-explain mode: the engine coarsens during prepare, explains
+// the coarse graph, and expands the ranking back to ORIGINAL block ids —
+// exactly what an offline reduce + explain + project pipeline produces.
+TEST_F(EngineTest, ReducedModeRanksOriginalBlocksAndMatchesOfflinePipeline) {
+  ServeConfig config;
+  config.max_batch = 4;
+  config.explain_workers = 2;
+  config.reduction = ReduceConfig{};
+  ExplanationEngine engine(gnn_, cfg_factory(), config);
+
+  std::vector<Acfg> graphs;
+  std::vector<std::future<ExplanationResponse>> futures;
+  for (std::size_t i = 0; i < 4; ++i) {
+    graphs.push_back(corpus_graph(i));
+    futures.push_back(engine.submit(graphs.back()));
+  }
+
+  CfgExplainer reference(gnn_);
+  reference.set_model(fresh_theta());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    ExplanationResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << to_string(response.status);
+
+    // The ranking is a permutation of the ORIGINAL node ids.
+    ASSERT_EQ(response.ranking.order.size(), graphs[i].num_nodes());
+    std::set<std::uint32_t> unique(response.ranking.order.begin(),
+                                   response.ranking.order.end());
+    EXPECT_EQ(unique.size(), graphs[i].num_nodes());
+
+    // Differential vs the offline pipeline: reduce, predict + explain on
+    // the coarse graph, project the ranking back.
+    const ReducedGraph r = reduce_graph(graphs[i], *config.reduction);
+    const Prediction expected = gnn_.predict(r.graph);
+    EXPECT_EQ(response.prediction.predicted_class, expected.predicted_class);
+    EXPECT_EQ(response.prediction.probabilities, expected.probabilities);
+    EXPECT_EQ(response.ranking.order,
+              project_ranking(reference.explain(r.graph), r.projection).order);
+  }
 }
 
 // The TSan target: many client threads race submit() against the

@@ -32,6 +32,23 @@ const char* kKernelsBaseline = R"({
   ]
 })";
 
+const char* kScalingBaseline = R"({
+  "schema": "cfgx.bench.scaling.v1",
+  "isa": "avx2",
+  "cases": [
+    {"name": "full", "n": 256, "reduction_ratio": 1.0,
+     "fidelity_at_20": 1.0, "per_explanation": {"mean_ms": 8.0}},
+    {"name": "reduced", "n": 256, "reduction_ratio": 0.58,
+     "fidelity_at_20": 0.67, "per_explanation": {"mean_ms": 4.0}},
+    {"name": "full", "n": 7352, "reduction_ratio": 1.0,
+     "fidelity_at_20": 1.0, "per_explanation": {"mean_ms": 280.0}},
+    {"name": "reduced", "n": 7352, "reduction_ratio": 0.58,
+     "fidelity_at_20": 1.0, "per_explanation": {"mean_ms": 64.0}}
+  ],
+  "summary": {"full_smallest_mean_ms": 8.0, "reduced_largest_mean_ms": 64.0,
+              "reduced_largest_over_full_smallest": 8.0}
+})";
+
 JsonValue parse(const std::string& text) { return JsonValue::parse(text); }
 
 TEST(BenchCompareTest, IdenticalServeRunsPass) {
@@ -161,6 +178,93 @@ TEST(BenchCompareTest, KernelZeroAllocInvariantIsExact) {
   EXPECT_EQ(compare_bench_json(parse(kKernelsBaseline), fresh, 100.0)
                 .exit_code(),
             1);
+}
+
+TEST(BenchCompareTest, IdenticalScalingRunsPass) {
+  const JsonValue doc = parse(kScalingBaseline);
+  const CompareReport report = compare_bench_json(doc, doc, 2.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.schema, "cfgx.bench.scaling.v1");
+  // 3 checks per sweep case + the headline ceiling.
+  EXPECT_EQ(report.checks.size(), 13u);
+}
+
+TEST(BenchCompareTest, ScalingLatencyIsBandedPerSweepPoint) {
+  JsonValue fresh = parse(kScalingBaseline);
+  fresh.members["cases"]
+      .items[3]
+      .members["per_explanation"]
+      .members["mean_ms"]
+      .number_value = 200.0;  // > 2x up at reduced@n7352 only
+  const CompareReport report =
+      compare_bench_json(parse(kScalingBaseline), fresh, 2.0);
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.regressions(), 1u);
+  for (const MetricCheck& check : report.checks) {
+    if (check.status == CheckStatus::Regressed) {
+      EXPECT_EQ(check.name, "cases.reduced@n7352.per_explanation.mean_ms");
+    }
+  }
+}
+
+TEST(BenchCompareTest, ScalingReductionRatioIsExact) {
+  // The sweep's graphs are seeded: the coarsener must reduce them
+  // identically run over run, regardless of timing tolerance.
+  JsonValue fresh = parse(kScalingBaseline);
+  fresh.members["cases"].items[1].members["reduction_ratio"].number_value =
+      0.60;
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), fresh, 100.0)
+                .exit_code(),
+            1);
+
+  JsonValue empty = parse(kScalingBaseline);
+  empty.members["cases"].items[1].members["reduction_ratio"].number_value =
+      0.0;
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), empty, 100.0)
+                .exit_code(),
+            1);
+}
+
+TEST(BenchCompareTest, ScalingFidelityAllowsOneGraphFlip) {
+  JsonValue fresh = parse(kScalingBaseline);
+  // 1.0 -> 0.67: one of three graphs flipped — inside the noise band.
+  fresh.members["cases"].items[2].members["fidelity_at_20"].number_value =
+      0.67;
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), fresh, 2.0)
+                .exit_code(),
+            0);
+  // 1.0 -> 0.33: two flips is a real quality regression.
+  fresh.members["cases"].items[2].members["fidelity_at_20"].number_value =
+      0.33;
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), fresh, 2.0)
+                .exit_code(),
+            1);
+}
+
+TEST(BenchCompareTest, ScalingPaperScaleCeilingIsHard) {
+  // The headline ratio has an absolute ceiling (10x at tolerance 1), not
+  // just a baseline-relative band.
+  JsonValue fresh = parse(kScalingBaseline);
+  fresh.members["summary"]
+      .members["reduced_largest_over_full_smallest"]
+      .number_value = 11.0;
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), fresh, 1.0)
+                .exit_code(),
+            1);
+  fresh.members["summary"]
+      .members["reduced_largest_over_full_smallest"]
+      .number_value = 9.5;
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), fresh, 1.0)
+                .exit_code(),
+            0);
+}
+
+TEST(BenchCompareTest, ScalingIsaMismatchIsAStructureFailure) {
+  JsonValue fresh = parse(kScalingBaseline);
+  fresh.members["isa"].string_value = "scalar";
+  EXPECT_EQ(compare_bench_json(parse(kScalingBaseline), fresh, 2.0)
+                .exit_code(),
+            2);
 }
 
 TEST(BenchCompareTest, StructureOutranksRegressionInExitCode) {

@@ -2,6 +2,7 @@
 
 #include <iomanip>
 #include <ostream>
+#include <utility>
 
 namespace cfgx::tools {
 namespace {
@@ -121,49 +122,61 @@ void compare_serve_v1(Comparer& c) {
   c.check_invariant({"workspace", "bytes_allocated_delta"}, 0.0);
 }
 
-void compare_kernels_v2(Comparer& c) {
+// Cases are keyed by (name, n): the same kernel pair / sweep mode is
+// measured at several problem sizes and each is its own trajectory.
+std::string case_key(const JsonValue& v) {
+  std::string key = v.at("name").string_value;
+  if (v.has("n")) {
+    key += "@n" +
+           std::to_string(static_cast<long long>(v.at("n").number_value));
+  }
+  return key;
+}
+
+// Requires matching `isa` fields (per-case numbers from different kernel
+// ISAs are not comparable) and matching `cases` arrays; returns the two
+// arrays on success, nullptrs after registering a structure failure.
+std::pair<const JsonValue*, const JsonValue*> matched_cases(Comparer& c) {
   const JsonValue* base_isa = find_path(c.baseline_, {"isa"});
   const JsonValue* fresh_isa = find_path(c.fresh_, {"isa"});
   if (base_isa == nullptr || fresh_isa == nullptr ||
       base_isa->string_value != fresh_isa->string_value) {
     c.structure_failure(
         "isa", "baseline and fresh run used different kernel ISAs — "
-               "per-case speedups are not comparable");
-    return;
+               "per-case numbers are not comparable");
+    return {nullptr, nullptr};
   }
   const JsonValue* base_cases = find_path(c.baseline_, {"cases"});
   const JsonValue* fresh_cases = find_path(c.fresh_, {"cases"});
   if (base_cases == nullptr || !base_cases->is_array() ||
       fresh_cases == nullptr || !fresh_cases->is_array()) {
     c.structure_failure("cases", "missing cases array");
-    return;
+    return {nullptr, nullptr};
   }
-  // Cases are keyed by (name, n): the same kernel pair is measured at
-  // several problem sizes and each is its own trajectory.
-  const auto case_key = [](const JsonValue& v) {
-    std::string key = v.at("name").string_value;
-    if (v.has("n")) {
-      key += "@n" + std::to_string(
-                        static_cast<long long>(v.at("n").number_value));
+  return {base_cases, fresh_cases};
+}
+
+const JsonValue* find_case(Comparer& c, const JsonValue& fresh_cases,
+                           const std::string& name) {
+  for (const JsonValue& candidate : fresh_cases.items) {
+    if (candidate.is_object() && candidate.has("name") &&
+        case_key(candidate) == name) {
+      return &candidate;
     }
-    return key;
-  };
+  }
+  c.structure_failure("cases." + name,
+                      "case present in baseline, absent in fresh run");
+  return nullptr;
+}
+
+void compare_kernels_v2(Comparer& c) {
+  const auto [base_cases, fresh_cases] = matched_cases(c);
+  if (base_cases == nullptr) return;
   for (const JsonValue& base_case : base_cases->items) {
     if (!base_case.is_object() || !base_case.has("name")) continue;
     const std::string name = case_key(base_case);
-    const JsonValue* fresh_case = nullptr;
-    for (const JsonValue& candidate : fresh_cases->items) {
-      if (candidate.is_object() && candidate.has("name") &&
-          case_key(candidate) == name) {
-        fresh_case = &candidate;
-        break;
-      }
-    }
-    if (fresh_case == nullptr) {
-      c.structure_failure("cases." + name,
-                          "case present in baseline, absent in fresh run");
-      continue;
-    }
+    const JsonValue* fresh_case = find_case(c, *fresh_cases, name);
+    if (fresh_case == nullptr) continue;
     // Per-case comparer rooted at the two case objects; its checks carry
     // the case-qualified name so the report stays readable.
     Comparer case_comparer(base_case, *fresh_case, c.tolerance_, c.report_);
@@ -195,6 +208,89 @@ void compare_kernels_v2(Comparer& c) {
     } else {
       c.report_.checks.back().name = std::move(alloc.name);
     }
+  }
+}
+
+// Size-sweep trajectory (bench/scaling_sweep). Wall-clock per explanation
+// is banded per sweep point; the coarsener's reduction ratio and the
+// fidelity@20% of the projected rankings are pure functions of the seeded
+// graphs, so those are drift checks, not bands. The headline
+// reduced@largest-vs-full@smallest ratio carries a hard ceiling: the
+// paper-scale claim the baseline was committed under.
+void compare_scaling_v1(Comparer& c) {
+  const auto [base_cases, fresh_cases] = matched_cases(c);
+  if (base_cases == nullptr) return;
+  for (const JsonValue& base_case : base_cases->items) {
+    if (!base_case.is_object() || !base_case.has("name")) continue;
+    const std::string name = case_key(base_case);
+    const JsonValue* fresh_case = find_case(c, *fresh_cases, name);
+    if (fresh_case == nullptr) continue;
+    Comparer case_comparer(base_case, *fresh_case, c.tolerance_, c.report_);
+
+    MetricCheck latency;
+    latency.name = "cases." + name + ".per_explanation.mean_ms";
+    if (case_comparer.read_pair({"per_explanation", "mean_ms"},
+                                latency.baseline, latency.fresh)) {
+      latency.ratio =
+          latency.baseline > 0.0 ? latency.fresh / latency.baseline : 0.0;
+      if (latency.baseline > 0.0 &&
+          latency.fresh > latency.baseline * c.tolerance_) {
+        latency.status = CheckStatus::Regressed;
+        latency.note = "per-explanation latency grew more than tolerance";
+      }
+      c.report_.checks.push_back(std::move(latency));
+    } else {
+      c.report_.checks.back().name = std::move(latency.name);
+    }
+
+    MetricCheck ratio;
+    ratio.name = "cases." + name + ".reduction_ratio";
+    if (case_comparer.read_pair({"reduction_ratio"}, ratio.baseline,
+                                ratio.fresh)) {
+      if (ratio.fresh <= 0.0) {
+        ratio.status = CheckStatus::Regressed;
+        ratio.note = "reduction ratio must stay positive "
+                     "(coarsening may never empty a graph)";
+      } else if (ratio.fresh != ratio.baseline) {
+        ratio.status = CheckStatus::Regressed;
+        ratio.note = "deterministic coarsening drifted "
+                     "(same seeds must reduce identically)";
+      }
+      c.report_.checks.push_back(std::move(ratio));
+    } else {
+      c.report_.checks.back().name = std::move(ratio.name);
+    }
+
+    MetricCheck fidelity;
+    fidelity.name = "cases." + name + ".fidelity_at_20";
+    if (case_comparer.read_pair({"fidelity_at_20"}, fidelity.baseline,
+                                fidelity.fresh)) {
+      // Allow one graph's verdict to flip (libm differences can perturb
+      // near-tied predictions); more than that is a real quality change.
+      if (fidelity.fresh + 0.34 < fidelity.baseline) {
+        fidelity.status = CheckStatus::Regressed;
+        fidelity.note = "fidelity@20% fell beyond one-graph noise";
+      }
+      c.report_.checks.push_back(std::move(fidelity));
+    } else {
+      c.report_.checks.back().name = std::move(fidelity.name);
+    }
+  }
+
+  MetricCheck headline;
+  headline.name = "summary.reduced_largest_over_full_smallest";
+  if (c.read_pair({"summary", "reduced_largest_over_full_smallest"},
+                  headline.baseline, headline.fresh)) {
+    headline.ratio =
+        headline.baseline > 0.0 ? headline.fresh / headline.baseline : 0.0;
+    if (headline.fresh > 10.0 * c.tolerance_) {
+      headline.status = CheckStatus::Regressed;
+      headline.note = "paper-scale ceiling broken: reduced@largest must stay "
+                      "within 10x of full@smallest";
+    }
+    c.report_.checks.push_back(std::move(headline));
+  } else {
+    c.report_.checks.back().name = std::move(headline.name);
   }
 }
 
@@ -251,6 +347,8 @@ CompareReport compare_bench_json(const JsonValue& baseline,
     compare_serve_v1(comparer);
   } else if (base_schema == "cfgx.bench.kernels.v2") {
     compare_kernels_v2(comparer);
+  } else if (base_schema == "cfgx.bench.scaling.v1") {
+    compare_scaling_v1(comparer);
   } else {
     comparer.structure_failure("schema", "unsupported schema " + base_schema);
   }

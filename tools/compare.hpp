@@ -17,6 +17,7 @@
 // Supported schemas:
 //   * cfgx.bench.serve.v1   (bench/serve_throughput)
 //   * cfgx.bench.kernels.v2 (bench/micro_kernels --kernels-baseline)
+//   * cfgx.bench.scaling.v1 (bench/scaling_sweep)
 #pragma once
 
 #include <iosfwd>
